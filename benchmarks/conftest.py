@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Each module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced rows/series next to the timing table; the
+assertions encode the *shape* of each claim (who wins, by roughly what
+factor, where crossovers fall), so the suite is meaningful even without
+reading the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.geometry.space import DataSpace
+from repro.workloads import clustered, uniform
+
+
+@pytest.fixture(scope="session")
+def space2() -> DataSpace:
+    """The unit square at 18-bit resolution."""
+    return DataSpace.unit(2, resolution=18)
+
+
+@pytest.fixture(scope="session")
+def uniform_points() -> list[tuple[float, ...]]:
+    """20k uniform 2-d points."""
+    return list(uniform(20_000, 2, seed=1))
+
+
+@pytest.fixture(scope="session")
+def clustered_points() -> list[tuple[float, ...]]:
+    """20k clustered 2-d points (occupied-subspace workload)."""
+    return list(clustered(20_000, 2, clusters=8, spread=0.02, seed=2))
+
+
+@pytest.fixture(scope="session")
+def bv_uniform(space2, uniform_points):
+    """A BV-tree loaded with the uniform workload (P=F=16)."""
+    return build_index("bv", space2, uniform_points)
+
+
+@pytest.fixture(scope="session")
+def bv_clustered(space2, clustered_points):
+    """A BV-tree loaded with the clustered workload (P=F=16)."""
+    return build_index("bv", space2, clustered_points)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: index 2-d points with a BV-tree and query them.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import BVTree, DataSpace
+
+
+def main() -> None:
+    # A data space is the Cartesian product of the attribute domains
+    # (paper §1); here two attributes, each in [0, 1).
+    space = DataSpace.unit(2)
+    tree = BVTree(space, data_capacity=16, fanout=16)
+
+    # Insert ten thousand random records.
+    rng = random.Random(42)
+    for i in range(10_000):
+        tree.insert((rng.random(), rng.random()), value=f"record-{i}",
+                    replace=True)
+
+    # Exact-match lookup.
+    point = (0.123456, 0.654321)
+    tree.insert(point, "the needle")
+    print("exact match:", tree.get(point))
+
+    # Every exact-match search reads exactly height+1 pages — the paper's
+    # §6 guarantee, however unbalanced the index tree becomes.
+    result = tree.search(point)
+    print(f"tree height {tree.height}; search visited "
+          f"{result.nodes_visited} pages (always height + 1)")
+
+    # Range query: all records in a box.
+    box = tree.range_query((0.4, 0.4), (0.45, 0.45))
+    print(f"range query found {len(box)} records, "
+          f"touching {box.pages_visited} pages")
+
+    # Partial match (paper §1): constrain any subset of the attributes.
+    pm = tree.partial_match({1: 0.654321})
+    print(f"partial match on attribute 1 found {len(pm)} records")
+
+    # Delete and verify.
+    tree.delete(point)
+    print("deleted; contains(point) =", tree.contains(point))
+
+    # Structural statistics: the 1/3 occupancy guarantee in action.
+    stats = tree.tree_stats()
+    print(f"data pages: {stats.data_pages}, index nodes: {stats.index_nodes}, "
+          f"guards: {stats.total_guards}")
+    print(f"minimum data-page occupancy: {stats.min_data_occupancy} "
+          f"(guaranteed ≥ {tree.policy.min_data_occupancy()})")
+
+    # The invariant checker is available in anger, not just in tests.
+    tree.check(sample_points=100)
+    print("all invariants hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §7 analysis: Figures 7-1/7-2 and the thresholds.
+
+Prints text renditions of both figures, the height-growth readings the
+paper quotes, and the file-size thresholds of §7.2/§7.3.
+
+Run:  python examples/worst_case_analysis.py
+"""
+
+from repro.analysis import capacity, figures, multipage, worstcase
+
+
+def main() -> None:
+    for fanout, name in ((24, "Figure 7-1"), (120, "Figure 7-2")):
+        rows = figures.figure_series(fanout)
+        print(f"=== {name} (F = {fanout}) " + "=" * 30)
+        print(figures.render_figure(rows, fanout))
+        print()
+        growth = figures.height_growth_table(fanout, range(3, 7))
+        readings = ", ".join(f"h={h}→{w}" for h, w in growth)
+        print(f"height growth, best → worst case: {readings}")
+        print()
+
+    print("=== §7 summary claims " + "=" * 30)
+    print(f"worst case loses a factor ≈ h! of capacity: "
+          f"h=4: {worstcase.capacity_loss_factor(120, 4):.1f} (4! = 24); "
+          f"h=6: {worstcase.capacity_loss_factor(120, 6):.1f} (6! = 720)")
+
+    for fanout, penalty in ((24, 2), (120, 1), (120, 2)):
+        threshold = capacity.max_file_size_with_penalty(fanout, penalty)
+        print(f"F={fanout:<4} 1 KB pages: ≤{penalty} extra level(s) up to "
+              f"{threshold / 1e9:,.1f} GB")
+
+    print(f"a worst-case F=120 tree of height 9 holds "
+          f"{capacity.worst_case_file_size_at_height(120, 9) / 1e15:.1f} PB "
+          f"(the paper's 'order 3 Petabyte' figure sits between h=8 and 9)")
+
+    print()
+    print("=== §7.3: level-scaled index pages " + "=" * 18)
+    for h in range(2, 7):
+        uniform_worst = worstcase.worst_case_data_nodes(120, h)
+        scaled_worst = multipage.worst_case_data_nodes(120, h)
+        best = worstcase.best_case_data_nodes(120, h)
+        print(f"h={h}: best {best:.3g}, uniform worst {uniform_worst:.3g}, "
+              f"scaled worst {scaled_worst:.3g} "
+              f"(scaled/best = {scaled_worst / best:.3f})")
+    overhead = multipage.scaled_page_overhead(120, 6, 1024)
+    print(f"byte overhead of the larger upper-level pages at h=6: "
+          f"{overhead * 100:.2f}% — 'negligible effect on overall index size'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, benchmarks (with the paper's tables), examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (tables in bench_output.txt) =="
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for example in examples/*.py; do
+    echo "--- $example"
+    python "$example"
+done
+
+echo "== figures via the CLI =="
+python -m repro figures --fanout 24
+python -m repro figures --fanout 120
+python -m repro thresholds

@@ -1,0 +1,71 @@
+"""repro — a reproduction of Freeston's BV-tree (SIGMOD 1995).
+
+"A General Solution of the n-dimensional B-tree Problem" introduces the
+BV-tree: an n-dimensional index that preserves the B-tree's guarantees as
+far as topologically possible — logarithmic access and update, a
+guaranteed 1/3 minimum occupancy of data *and* index pages, and fully
+dynamic behaviour.  This package contains the BV-tree itself, every
+substrate it rests on, the baselines the paper argues against, and the
+analysis machinery behind the paper's evaluation (§7).
+
+Quickstart
+----------
+>>> from repro import BVTree, DataSpace
+>>> space = DataSpace.unit(2)
+>>> tree = BVTree(space)
+>>> tree.insert((0.25, 0.75), "a record")
+>>> tree.get((0.25, 0.75))
+'a record'
+>>> tree.range_query((0.0, 0.5), (0.5, 1.0)).points()
+[(0.25, 0.75)]
+
+Package map
+-----------
+- :mod:`repro.core` — the BV-tree (and the §8 spatial-object extension).
+- :mod:`repro.geometry` — binary-partition geometry (region keys, paths).
+- :mod:`repro.storage` — paged storage with I/O accounting.
+- :mod:`repro.baselines` — B+-tree, Z-order B-tree, K-D-B tree, BANG
+  file, LSD-style splitter.
+- :mod:`repro.analysis` — the paper's equations (1)-(18) and figures.
+- :mod:`repro.workloads` — synthetic workload generators.
+"""
+
+from repro.core.policy import CapacityPolicy
+from repro.core.spatial import SpatialIndex
+from repro.core.tree import BVTree
+from repro.errors import (
+    DuplicateKeyError,
+    GeometryError,
+    KeyNotFoundError,
+    ReproError,
+    ResolutionExhaustedError,
+    StorageError,
+    TreeInvariantError,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.geometry.space import DataSpace
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PageStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BVTree",
+    "BufferPool",
+    "CapacityPolicy",
+    "DataSpace",
+    "DuplicateKeyError",
+    "GeometryError",
+    "KeyNotFoundError",
+    "PageStore",
+    "ROOT_KEY",
+    "Rect",
+    "RegionKey",
+    "ReproError",
+    "ResolutionExhaustedError",
+    "SpatialIndex",
+    "StorageError",
+    "TreeInvariantError",
+    "__version__",
+]

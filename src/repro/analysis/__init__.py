@@ -1,0 +1,18 @@
+"""Worst-case analysis of the BV-tree (paper §7).
+
+This subpackage reproduces the paper's analytical evaluation:
+
+- :mod:`repro.analysis.worstcase` — uniform index page size: equations
+  (1)–(9), exact recursions and the closed-form approximations.
+- :mod:`repro.analysis.multipage` — level-scaled index pages (§7.3):
+  equations (10)–(18).
+- :mod:`repro.analysis.capacity` — the file-size thresholds quoted in
+  §7.2/§7.3 (how large a file can grow before the worst case costs an
+  extra index level).
+- :mod:`repro.analysis.figures` — the data series behind Figures 7-1 and
+  7-2.
+"""
+
+from repro.analysis import capacity, figures, multipage, worstcase
+
+__all__ = ["capacity", "figures", "multipage", "worstcase"]

@@ -1,0 +1,85 @@
+"""File-size thresholds quoted in §7.2 and §7.3.
+
+The paper summarises the uniform-page worst case in terms of file sizes
+(1 KByte data pages):
+
+- F = 24: the index grows by at most 2 levels up to data sets of order
+  100 MBytes;
+- F = 120: at most 1 extra level up to ~200 GBytes, at most 2 up to
+  ~25 TBytes; a height 8–9 tree corresponds to a ~3 PByte file.
+
+These are all corollaries of the height functions in
+:mod:`repro.analysis.worstcase`; this module computes the thresholds
+exactly so the quoted numbers can be checked.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import worstcase
+from repro.errors import ReproError
+
+
+def file_bytes(data_nodes: int, page_bytes: int = 1024) -> int:
+    """Data-set size for a number of data pages."""
+    return data_nodes * page_bytes
+
+
+def data_nodes_for_file(file_size: float, page_bytes: int = 1024) -> int:
+    """Number of data pages needed for a file of ``file_size`` bytes."""
+    if file_size <= 0:
+        raise ReproError(f"file size must be positive, got {file_size}")
+    return max(1, int(file_size // page_bytes))
+
+
+def height_penalty_for_file(
+    fanout: int,
+    file_size: float,
+    page_bytes: int = 1024,
+    integer_constrained: bool = False,
+) -> int:
+    """Extra worst-case index levels for a file of the given byte size."""
+    nodes = data_nodes_for_file(file_size, page_bytes)
+    return worstcase.height_penalty(fanout, nodes, integer_constrained)
+
+
+def max_file_size_with_penalty(
+    fanout: int,
+    max_penalty: int,
+    page_bytes: int = 1024,
+    max_height: int = 12,
+    integer_constrained: bool = False,
+) -> int:
+    """Largest file size (bytes) whose worst-case penalty stays within bound.
+
+    Scans the capacity breakpoints: the penalty is a step function of the
+    data-node count, jumping where either the best-case or the worst-case
+    height does.  Returns the file size just below the first node count
+    whose penalty exceeds ``max_penalty``.
+    """
+    if max_penalty < 0:
+        raise ReproError(f"penalty bound must be non-negative, got {max_penalty}")
+    breakpoints: set[int] = set()
+    capacity = (
+        worstcase.worst_case_data_nodes_integer
+        if integer_constrained
+        else worstcase.worst_case_data_nodes
+    )
+    for h in range(1, max_height + 1):
+        breakpoints.add(worstcase.best_case_data_nodes(fanout, h) + 1)
+        breakpoints.add(capacity(fanout, h) + 1)
+    last_good = 1
+    for nodes in sorted(breakpoints):
+        penalty = worstcase.height_penalty(fanout, nodes, integer_constrained)
+        if penalty > max_penalty:
+            return file_bytes(nodes - 1, page_bytes)
+        last_good = nodes
+    return file_bytes(last_good, page_bytes)
+
+
+def worst_case_file_size_at_height(
+    fanout: int, height: int, page_bytes: int = 1024
+) -> int:
+    """File size a worst-case tree of this height can hold (§7.2's 3 PB)."""
+    return file_bytes(
+        worstcase.worst_case_data_nodes(fanout, height), page_bytes
+    )

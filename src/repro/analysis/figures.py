@@ -1,0 +1,97 @@
+"""Data series for Figures 7-1 and 7-2.
+
+Each figure plots, for heights ``h = 1..9``, the best-case and worst-case
+data-node capacity of a uniform-page BV-tree on a ``log_F`` scale; the
+shaded gap in the paper is ``log_F(h!)``.  Figure 7-1 uses ``F = 24``,
+Figure 7-2 ``F = 120``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis import worstcase
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One bar of Figure 7-1/7-2."""
+
+    height: int
+    best_log_f: float
+    worst_log_f: float
+    gap: float
+    gap_predicted: float  # log_F(h!) — the paper's annotation
+
+
+def figure_series(
+    fanout: int,
+    heights: range = range(1, 10),
+    integer_constrained: bool = False,
+) -> list[FigureRow]:
+    """The per-height series of Figure 7-1 (F=24) / 7-2 (F=120)."""
+    rows = []
+    log_f = math.log(fanout)
+    for h in heights:
+        best = worstcase.best_case_data_nodes(fanout, h)
+        if integer_constrained:
+            worst: float = worstcase.worst_case_data_nodes_integer(fanout, h)
+        else:
+            worst = worstcase.worst_case_data_nodes(fanout, h)
+        rows.append(
+            FigureRow(
+                height=h,
+                best_log_f=math.log(best) / log_f,
+                worst_log_f=math.log(worst) / log_f,
+                gap=(math.log(best) - math.log(worst)) / log_f,
+                gap_predicted=math.log(math.factorial(h)) / log_f,
+            )
+        )
+    return rows
+
+
+def figure_7_1(integer_constrained: bool = False) -> list[FigureRow]:
+    """Figure 7-1: uniform page size, fan-out ratio F = 24."""
+    return figure_series(24, integer_constrained=integer_constrained)
+
+
+def figure_7_2(integer_constrained: bool = False) -> list[FigureRow]:
+    """Figure 7-2: uniform page size, fan-out ratio F = 120."""
+    return figure_series(120, integer_constrained=integer_constrained)
+
+
+def height_growth_table(
+    fanout: int,
+    heights: range = range(1, 10),
+    integer_constrained: bool = False,
+) -> list[tuple[int, int]]:
+    """The figures' headline reading: best-case height → worst-case height.
+
+    For each best-case height ``h`` (capacity ``F**h``), the height a
+    worst-case tree must grow to in order to hold the same number of data
+    nodes.  The paper quotes 3→4, 4→6, 5→10 for F = 24 and 4→5, 6→8..9
+    for F = 120.
+    """
+    out = []
+    for h in heights:
+        capacity = worstcase.best_case_data_nodes(fanout, h)
+        out.append(
+            (h, worstcase.worst_case_height(fanout, capacity, integer_constrained))
+        )
+    return out
+
+
+def render_figure(rows: list[FigureRow], fanout: int) -> str:
+    """A plain-text rendition of Figure 7-1/7-2 (bar per height)."""
+    lines = [
+        f"log_F(td(h)) for F = {fanout}: best case (#) vs worst case (=)",
+        "",
+    ]
+    scale = 4  # characters per log_F unit
+    for row in rows:
+        best_bar = "#" * round(row.best_log_f * scale)
+        worst_bar = "=" * round(row.worst_log_f * scale)
+        lines.append(f"h={row.height}  best  |{best_bar}")
+        lines.append(f"      worst |{worst_bar}   (gap {row.gap:.2f})")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Level-scaled index pages (§7.3): equations (10)–(18).
+
+With every index page at level ``x`` enlarged to ``B·x`` bytes — room for
+``F`` unpromoted entries plus ``F(x-1)`` guards — the worst-case recursion
+of equation (10),
+
+    td(h) = F (1 + sum_{k=1}^{h-1} td(k)),
+
+telescopes into equation (12), ``td(h) = F (F + 1)**(h-1) ≈ F**h``: the
+best-case data capacity is restored.  The index node count (equations
+13–14) is ``ti(h) = (F + 1)**(h-1)``, keeping the index:data ratio at
+``1/F`` (equation 15), and the total index *byte* size (equations 16–18)
+stays ≈ ``B·F**(h-1)`` — the enlarged upper-level pages are negligible
+because level-1 nodes outnumber everything above them by a factor ``F``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+
+def _check_args(fanout: int, height: int) -> None:
+    if fanout < 2:
+        raise ReproError(f"fan-out ratio must be at least 2, got {fanout}")
+    if height < 0:
+        raise ReproError(f"height must be non-negative, got {height}")
+
+
+@lru_cache(maxsize=None)
+def worst_case_data_nodes_recursive(fanout: int, height: int) -> int:
+    """Equation (10): ``td(h) = F (1 + sum_{k<h} td(k))``."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 1
+    total = 1 + sum(
+        worst_case_data_nodes_recursive(fanout, k) for k in range(1, height)
+    )
+    return fanout * total
+
+
+def worst_case_data_nodes(fanout: int, height: int) -> int:
+    """Equation (12): ``td(h) = F (F + 1)**(h-1) ≈ F**h``."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 1
+    return fanout * (fanout + 1) ** (height - 1)
+
+
+def worst_case_index_nodes(fanout: int, height: int) -> int:
+    """Equation (14): ``ti(h) = (F + 1)**(h-1)``."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 0
+    return (fanout + 1) ** (height - 1)
+
+
+def worst_case_ratio(fanout: int, height: int) -> float:
+    """Equation (15): ``ti/td = 1/F``, independent of configuration."""
+    if height == 0:
+        return 0.0
+    return worst_case_index_nodes(fanout, height) / worst_case_data_nodes(
+        fanout, height
+    )
+
+
+@lru_cache(maxsize=None)
+def worst_case_index_bytes(fanout: int, height: int, page_bytes: int) -> int:
+    """Equations (16)/(17): total index size with ``B·x`` pages at level x.
+
+    Recursion (17): ``si(1) = B``, ``si(h+1) = si(h)(F + 1) + B``.
+    """
+    _check_args(fanout, height)
+    if page_bytes <= 0:
+        raise ReproError(f"page size must be positive, got {page_bytes}")
+    if height == 0:
+        return 0
+    size = page_bytes
+    for _ in range(height - 1):
+        size = size * (fanout + 1) + page_bytes
+    return size
+
+
+def worst_case_index_bytes_approx(
+    fanout: int, height: int, page_bytes: int
+) -> float:
+    """Equation (18): ``si(h) ≈ B F**(h-1)`` for ``F >> 1``."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 0.0
+    return page_bytes * float(fanout) ** (height - 1)
+
+
+def scaled_page_overhead(fanout: int, height: int, page_bytes: int) -> float:
+    """Relative byte overhead of level-scaled pages vs uniform pages.
+
+    The §7.3 claim is that this is negligible: the ratio of equation (17)
+    to the uniform-page index size (same node count, all pages ``B``)
+    tends to 1 for realistic fan-outs.
+    """
+    nodes = worst_case_index_nodes(fanout, height)
+    if nodes == 0:
+        return 0.0
+    uniform_bytes = nodes * page_bytes
+    scaled_bytes = worst_case_index_bytes(fanout, height, page_bytes)
+    return scaled_bytes / uniform_bytes - 1.0
+
+
+def worst_case_height(fanout: int, data_nodes: int) -> int:
+    """Smallest height whose scaled-page worst case reaches ``data_nodes``."""
+    if data_nodes < 1:
+        raise ReproError(f"need at least one data node, got {data_nodes}")
+    height = 0
+    while worst_case_data_nodes(fanout, height) < data_nodes:
+        height += 1
+    return height

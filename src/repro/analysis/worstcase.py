@@ -1,0 +1,196 @@
+"""Uniform index page size: equations (1)–(9) of the paper.
+
+Best case (no promoted subtrees), a height-``h`` BV-tree with fan-out
+``F`` behaves like a B-tree:
+
+- equation (1): ``td(h) = F**h`` data nodes;
+- equation (2): ``ti(h) = (F**h - 1) / (F - 1)`` index nodes, which is
+  approximately ``F**(h-1)`` for large ``F`` (equation 3).
+
+Worst case (a full sequence of guards for every unpromoted entry, §7.2):
+every node spends a fraction of its fan-out on promoted subtrees, giving
+the recursion of equation (4),
+
+    td(h) = (F / h) * (1 + sum_{k=1}^{h-1} td(k)),
+
+whose closed form is the binomial of equation (5),
+
+    td(h) = (F + h - 1)! / ((F - 1)! h!) = C(F + h - 1, h)
+          ≈ F**h / h!            for F >> h,
+
+i.e. the worst case loses a factor ``h!`` of data capacity.  The index
+node count follows the same pattern (equations 6–8) and the index:data
+ratio stays ≈ ``1/F`` in both cases (equations 3 and 9).
+
+The recursions are only exact when ``F/x`` is an integer at every index
+level ``x`` (the paper notes F = 60 is the smallest fan-out exact for
+height 5); :func:`worst_case_data_nodes_integer` implements the
+integer-constrained variant so both readings of the figures can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+
+def _check_args(fanout: int, height: int) -> None:
+    if fanout < 2:
+        raise ReproError(f"fan-out ratio must be at least 2, got {fanout}")
+    if height < 0:
+        raise ReproError(f"height must be non-negative, got {height}")
+
+
+# ----------------------------------------------------------------------
+# Best case: equations (1)-(3)
+# ----------------------------------------------------------------------
+
+
+def best_case_data_nodes(fanout: int, height: int) -> int:
+    """Equation (1): ``td(h) = F**h``."""
+    _check_args(fanout, height)
+    return fanout**height
+
+
+def best_case_index_nodes(fanout: int, height: int) -> int:
+    """Equation (2): ``ti(h) = sum_{k=0}^{h-1} F**k = (F**h - 1)/(F - 1)``."""
+    _check_args(fanout, height)
+    return (fanout**height - 1) // (fanout - 1)
+
+
+def best_case_ratio(fanout: int, height: int) -> float:
+    """Equation (3): ``ti/td ≈ 1/F`` for ``F >> 1``."""
+    return best_case_index_nodes(fanout, height) / best_case_data_nodes(
+        fanout, height
+    )
+
+
+# ----------------------------------------------------------------------
+# Worst case: equations (4)-(9)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def worst_case_data_nodes_recursive(fanout: int, height: int) -> float:
+    """Equation (4): ``td(h) = (F/h)(1 + sum_{k<h} td(k))`` (real-valued)."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 1.0
+    total = 1.0 + sum(
+        worst_case_data_nodes_recursive(fanout, k) for k in range(1, height)
+    )
+    return fanout / height * total
+
+
+def worst_case_data_nodes(fanout: int, height: int) -> int:
+    """Equation (5): ``td(h) = C(F + h - 1, h)`` — the closed form."""
+    _check_args(fanout, height)
+    return math.comb(fanout + height - 1, height)
+
+
+@lru_cache(maxsize=None)
+def worst_case_data_nodes_integer(fanout: int, height: int) -> int:
+    """Equation (4) with the integer constraint the paper notes.
+
+    Every node devotes ``floor(F/x)`` sons to each role at index level
+    ``x``; when ``F/x`` is not integral the achievable worst case is
+    smaller than the binomial closed form.
+    """
+    _check_args(fanout, height)
+    if height == 0:
+        return 1
+    total = 1 + sum(
+        worst_case_data_nodes_integer(fanout, k) for k in range(1, height)
+    )
+    return (fanout // height) * total
+
+
+@lru_cache(maxsize=None)
+def worst_case_index_nodes_recursive(fanout: int, height: int) -> float:
+    """Equation (6): ``ti(h) = 1 + (F/h) sum_{k<h} ti(k)`` (real-valued)."""
+    _check_args(fanout, height)
+    if height == 0:
+        return 0.0
+    total = sum(
+        worst_case_index_nodes_recursive(fanout, k) for k in range(1, height)
+    )
+    return 1.0 + fanout / height * total
+
+
+def worst_case_index_nodes(fanout: int, height: int) -> float:
+    """Equation (8): ``ti(h) = F (F + h - 1)! / ((F + 1)! h!)``.
+
+    Approximate (the paper neglects the root term of equation 6); equals
+    ``C(F + h - 1, h) / (F + 1)`` up to that approximation.
+    """
+    _check_args(fanout, height)
+    if height == 0:
+        return 0.0
+    return (
+        fanout
+        * math.comb(fanout + height - 1, height)
+        * math.factorial(fanout - 1)
+        / math.factorial(fanout + 1)
+    )
+
+
+def worst_case_ratio(fanout: int, height: int) -> float:
+    """Equation (9): ``ti/td ≈ 1/F`` in the worst case as well."""
+    return worst_case_index_nodes(fanout, height) / worst_case_data_nodes(
+        fanout, height
+    )
+
+
+def capacity_loss_factor(fanout: int, height: int) -> float:
+    """The paper's headline: worst case loses a factor ``≈ h!``.
+
+    Returns ``td_best / td_worst``; equals ``h!`` exactly in the
+    ``F >> h`` limit.
+    """
+    return best_case_data_nodes(fanout, height) / worst_case_data_nodes(
+        fanout, height
+    )
+
+
+# ----------------------------------------------------------------------
+# Height predictions
+# ----------------------------------------------------------------------
+
+
+def best_case_height(fanout: int, data_nodes: int) -> int:
+    """Smallest height whose best-case capacity reaches ``data_nodes``."""
+    if data_nodes < 1:
+        raise ReproError(f"need at least one data node, got {data_nodes}")
+    height = 0
+    while best_case_data_nodes(fanout, height) < data_nodes:
+        height += 1
+    return height
+
+
+def worst_case_height(
+    fanout: int, data_nodes: int, integer_constrained: bool = False
+) -> int:
+    """Smallest height whose worst-case capacity reaches ``data_nodes``."""
+    if data_nodes < 1:
+        raise ReproError(f"need at least one data node, got {data_nodes}")
+    capacity = (
+        worst_case_data_nodes_integer
+        if integer_constrained
+        else worst_case_data_nodes
+    )
+    height = 0
+    while capacity(fanout, height) < data_nodes:
+        height += 1
+    return height
+
+
+def height_penalty(
+    fanout: int, data_nodes: int, integer_constrained: bool = False
+) -> int:
+    """Extra index levels the worst case needs for the same data size."""
+    return worst_case_height(
+        fanout, data_nodes, integer_constrained
+    ) - best_case_height(fanout, data_nodes)

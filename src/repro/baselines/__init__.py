@@ -1,0 +1,43 @@
+"""Baseline index structures the paper positions the BV-tree against.
+
+- :mod:`repro.baselines.btree` — the 1-d B+-tree ([BM72]): the gold
+  standard whose properties the BV-tree generalises, and the substrate of
+  the Z-order workaround.
+- :mod:`repro.baselines.zbtree` — Z/Morton-order linearisation over the
+  B+-tree ([Ore86]): inherits B-tree worst cases but cannot contract to
+  occupied subspaces, which costs it on range queries ([KSS+90]).
+- :mod:`repro.baselines.kdbtree` — Robinson's K-D-B tree ([Rob81]):
+  directory splits cascade into the subtrees (paper Figures 1-1/1-2);
+  instrumented to count forced splits.
+- :mod:`repro.baselines.bangfile` — the BANG file with a *balanced*
+  directory ([Fre87]): balanced binary splits plus enclosure, but a
+  directory split boundary may cut lower-level regions (Figure 1-3),
+  forcing downward splits; instrumented likewise.
+- :mod:`repro.baselines.lsdtree` — an LSD/Buddy-style first-partition
+  splitter ([HSW89]/[SK90]): avoids cascades by always splitting the
+  directory at the first partition of the binary sequence, abandoning
+  directory occupancy control.
+- :mod:`repro.baselines.rtree` / :mod:`repro.baselines.rplustree` — the
+  spatial-object structures of §1/§8 ([Gut84], [SRF87]): the R-tree's
+  overlapping regions make search unbounded, the R+-tree's clipping
+  duplicates objects; the dual representation
+  (:mod:`repro.core.spatial`) avoids both.
+"""
+
+from repro.baselines.bangfile import BangFile
+from repro.baselines.btree import BPlusTree
+from repro.baselines.kdbtree import KDBTree
+from repro.baselines.lsdtree import LSDTree
+from repro.baselines.rplustree import RPlusTree
+from repro.baselines.rtree import RTree
+from repro.baselines.zbtree import ZOrderBTree
+
+__all__ = [
+    "BangFile",
+    "BPlusTree",
+    "KDBTree",
+    "LSDTree",
+    "RPlusTree",
+    "RTree",
+    "ZOrderBTree",
+]

@@ -1,0 +1,371 @@
+"""A paged B+-tree ([BM72], [Com79]).
+
+The structure whose guarantees the BV-tree generalises: logarithmic
+access and update, minimum 50% node occupancy, fully dynamic.  Keys are
+arbitrary orderable scalars; leaves are chained for range scans.  Pages
+live in a :class:`~repro.storage.PageStore` so page-access counts are
+directly comparable with the other structures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import KeyNotFoundError, TreeInvariantError
+from repro.storage.pager import PageStore
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next_leaf: int | None = None
+
+
+class _Branch:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] the rest.
+        self.keys: list[Any] = []
+        self.children: list[int] = []
+
+
+class BPlusTree:
+    """A B+-tree of order ``fanout`` (max children per branch).
+
+    Leaves hold at most ``leaf_capacity`` records.  Deletion rebalances by
+    borrowing from or merging with siblings, maintaining the classic 50%
+    minimum occupancy (except the root).
+    """
+
+    def __init__(
+        self,
+        leaf_capacity: int = 16,
+        fanout: int = 16,
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+    ):
+        if leaf_capacity < 2:
+            raise TreeInvariantError(
+                f"leaves must hold at least 2 records, got {leaf_capacity}"
+            )
+        if fanout < 3:
+            raise TreeInvariantError(f"fan-out must be at least 3, got {fanout}")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.store = store if store is not None else PageStore(page_bytes)
+        self.count = 0
+        self.height = 0  # number of branch levels above the leaves
+        self.root_page = self.store.allocate(_Leaf(), size_class=0)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: Any) -> tuple[list[int], _Leaf]:
+        """Root-to-leaf path (page ids) and the leaf object for ``key``."""
+        path = [self.root_page]
+        node = self.store.read(self.root_page)
+        while isinstance(node, _Branch):
+            idx = bisect.bisect_right(node.keys, key)
+            path.append(node.children[idx])
+            node = self.store.read(node.children[idx])
+        return path, node
+
+    def get(self, key: Any) -> Any:
+        """The value stored under ``key`` (KeyNotFoundError if absent)."""
+        _, leaf = self._descend(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        raise KeyNotFoundError(f"key {key!r} not found")
+
+    def contains(self, key: Any) -> bool:
+        """True if ``key`` is present."""
+        try:
+            self.get(key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def search_cost(self, key: Any) -> int:
+        """Pages visited by an exact-match search (always height + 1)."""
+        path, _ = self._descend(key)
+        return len(path)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any, replace: bool = False) -> None:
+        """Insert a record; duplicate keys raise unless ``replace``."""
+        path, leaf = self._descend(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if not replace:
+                from repro.errors import DuplicateKeyError
+
+                raise DuplicateKeyError(f"key {key!r} already present")
+            leaf.values[idx] = value
+            self.store.write(path[-1], leaf)
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self.store.write(path[-1], leaf)
+        self.count += 1
+        if len(leaf.keys) > self.leaf_capacity:
+            self._split_leaf(path)
+
+    def _split_leaf(self, path: list[int]) -> None:
+        leaf_page = path[-1]
+        leaf: _Leaf = self.store.read(leaf_page)
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right_page = self.store.allocate(right, size_class=0)
+        leaf.next_leaf = right_page
+        self.store.write(leaf_page, leaf)
+        self._insert_in_parent(path[:-1], leaf_page, right.keys[0], right_page)
+
+    def _insert_in_parent(
+        self, path: list[int], left_page: int, sep_key: Any, right_page: int
+    ) -> None:
+        if not path:
+            root = _Branch()
+            root.keys = [sep_key]
+            root.children = [left_page, right_page]
+            self.root_page = self.store.allocate(root, size_class=1)
+            self.height += 1
+            return
+        parent_page = path[-1]
+        parent: _Branch = self.store.read(parent_page)
+        idx = parent.children.index(left_page)
+        parent.keys.insert(idx, sep_key)
+        parent.children.insert(idx + 1, right_page)
+        self.store.write(parent_page, parent)
+        if len(parent.children) > self.fanout:
+            self._split_branch(path)
+
+    def _split_branch(self, path: list[int]) -> None:
+        branch_page = path[-1]
+        branch: _Branch = self.store.read(branch_page)
+        mid = len(branch.keys) // 2
+        sep_key = branch.keys[mid]
+        right = _Branch()
+        right.keys = branch.keys[mid + 1 :]
+        right.children = branch.children[mid + 1 :]
+        branch.keys = branch.keys[:mid]
+        branch.children = branch.children[: mid + 1]
+        right_page = self.store.allocate(right, size_class=1)
+        self.store.write(branch_page, branch)
+        self._insert_in_parent(path[:-1], branch_page, sep_key, right_page)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> Any:
+        """Remove and return the record under ``key``."""
+        path, leaf = self._descend(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        value = leaf.values.pop(idx)
+        leaf.keys.pop(idx)
+        self.store.write(path[-1], leaf)
+        self.count -= 1
+        if len(path) > 1 and len(leaf.keys) < self._min_leaf():
+            self._rebalance_leaf(path)
+        return value
+
+    def _min_leaf(self) -> int:
+        return self.leaf_capacity // 2
+
+    def _min_branch(self) -> int:
+        return (self.fanout + 1) // 2
+
+    def _rebalance_leaf(self, path: list[int]) -> None:
+        leaf_page = path[-1]
+        parent_page = path[-2]
+        parent: _Branch = self.store.read(parent_page)
+        leaf: _Leaf = self.store.read(leaf_page)
+        idx = parent.children.index(leaf_page)
+
+        if idx > 0:
+            left: _Leaf = self.store.read(parent.children[idx - 1])
+            if len(left.keys) > self._min_leaf():
+                leaf.keys.insert(0, left.keys.pop())
+                leaf.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = leaf.keys[0]
+                self.store.write(parent.children[idx - 1], left)
+                self.store.write(leaf_page, leaf)
+                self.store.write(parent_page, parent)
+                return
+        if idx < len(parent.children) - 1:
+            right: _Leaf = self.store.read(parent.children[idx + 1])
+            if len(right.keys) > self._min_leaf():
+                leaf.keys.append(right.keys.pop(0))
+                leaf.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+                self.store.write(parent.children[idx + 1], right)
+                self.store.write(leaf_page, leaf)
+                self.store.write(parent_page, parent)
+                return
+        # Merge with a sibling.
+        if idx > 0:
+            left = self.store.read(parent.children[idx - 1])
+            left.keys.extend(leaf.keys)
+            left.values.extend(leaf.values)
+            left.next_leaf = leaf.next_leaf
+            self.store.write(parent.children[idx - 1], left)
+            self.store.free(leaf_page)
+            parent.keys.pop(idx - 1)
+            parent.children.pop(idx)
+        else:
+            right = self.store.read(parent.children[idx + 1])
+            leaf.keys.extend(right.keys)
+            leaf.values.extend(right.values)
+            leaf.next_leaf = right.next_leaf
+            self.store.write(leaf_page, leaf)
+            self.store.free(parent.children[idx + 1])
+            parent.keys.pop(idx)
+            parent.children.pop(idx + 1)
+        self.store.write(parent_page, parent)
+        self._check_branch_underflow(path[:-1])
+
+    def _rebalance_branch(self, path: list[int]) -> None:
+        branch_page = path[-1]
+        parent_page = path[-2]
+        parent: _Branch = self.store.read(parent_page)
+        branch: _Branch = self.store.read(branch_page)
+        idx = parent.children.index(branch_page)
+
+        if idx > 0:
+            left: _Branch = self.store.read(parent.children[idx - 1])
+            if len(left.children) > self._min_branch():
+                branch.keys.insert(0, parent.keys[idx - 1])
+                parent.keys[idx - 1] = left.keys.pop()
+                branch.children.insert(0, left.children.pop())
+                self.store.write(parent.children[idx - 1], left)
+                self.store.write(branch_page, branch)
+                self.store.write(parent_page, parent)
+                return
+        if idx < len(parent.children) - 1:
+            right: _Branch = self.store.read(parent.children[idx + 1])
+            if len(right.children) > self._min_branch():
+                branch.keys.append(parent.keys[idx])
+                parent.keys[idx] = right.keys.pop(0)
+                branch.children.append(right.children.pop(0))
+                self.store.write(parent.children[idx + 1], right)
+                self.store.write(branch_page, branch)
+                self.store.write(parent_page, parent)
+                return
+        if idx > 0:
+            left = self.store.read(parent.children[idx - 1])
+            left.keys.append(parent.keys.pop(idx - 1))
+            left.keys.extend(branch.keys)
+            left.children.extend(branch.children)
+            self.store.write(parent.children[idx - 1], left)
+            self.store.free(branch_page)
+            parent.children.pop(idx)
+        else:
+            right = self.store.read(parent.children[idx + 1])
+            branch.keys.append(parent.keys.pop(idx))
+            branch.keys.extend(right.keys)
+            branch.children.extend(right.children)
+            self.store.write(branch_page, branch)
+            self.store.free(parent.children[idx + 1])
+            parent.children.pop(idx + 1)
+        self.store.write(parent_page, parent)
+        self._check_branch_underflow(path[:-1])
+
+    def _check_branch_underflow(self, path: list[int]) -> None:
+        branch_page = path[-1]
+        branch: _Branch = self.store.read(branch_page)
+        if branch_page == self.root_page:
+            if len(branch.children) == 1:
+                self.root_page = branch.children[0]
+                self.store.free(branch_page)
+                self.height -= 1
+            return
+        if len(branch.children) < self._min_branch():
+            self._rebalance_branch(path)
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def range_scan(self, low: Any, high: Any) -> tuple[list[tuple[Any, Any]], int]:
+        """All (key, value) with ``low <= key < high`` plus pages visited."""
+        path, leaf = self._descend(low)
+        pages = len(path)
+        out: list[tuple[Any, Any]] = []
+        while True:
+            for k, v in zip(leaf.keys, leaf.values):
+                if k >= high:
+                    return out, pages
+                if k >= low:
+                    out.append((k, v))
+            if leaf.next_leaf is None:
+                return out, pages
+            leaf = self.store.read(leaf.next_leaf)
+            pages += 1
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All records in key order."""
+        node = self.store.read(self.root_page)
+        while isinstance(node, _Branch):
+            node = self.store.read(node.children[0])
+        leaf: _Leaf = node
+        while True:
+            yield from zip(leaf.keys, leaf.values)
+            if leaf.next_leaf is None:
+                return
+            leaf = self.store.read(leaf.next_leaf)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def node_occupancies(self) -> tuple[list[int], list[int]]:
+        """(leaf sizes, branch child-counts) across the whole tree."""
+        leaves: list[int] = []
+        branches: list[int] = []
+        stack = [self.root_page]
+        while stack:
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Branch):
+                branches.append(len(node.children))
+                stack.extend(node.children)
+            else:
+                leaves.append(len(node.keys))
+        return leaves, branches
+
+    def check(self) -> None:
+        """Verify ordering, chaining, occupancy and count invariants."""
+        leaves, branches = self.node_occupancies()
+        if sum(leaves) != self.count:
+            raise TreeInvariantError(
+                f"count {self.count} != records {sum(leaves)}"
+            )
+        if len(leaves) > 1:
+            low = min(leaves)
+            if low < self._min_leaf():
+                raise TreeInvariantError(f"leaf with {low} records")
+        ordered = [k for k, _ in self.items()]
+        if ordered != sorted(ordered):
+            raise TreeInvariantError("leaf chain is not in key order")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"BPlusTree({self.count} records, height={self.height})"

@@ -1,0 +1,400 @@
+"""Robinson's K-D-B tree ([Rob81]) — the paper's Figure 1-1/1-2 exhibit.
+
+Data and directory pages are rectangular subspaces.  A directory page
+splits about a hyperplane; any child region the plane cuts must itself be
+split, and the effect cascades down every level to the leaves (Figure
+1-2).  The consequences of a single insertion are therefore unbounded, and
+because the cascading splits have no freedom in where they cut, no minimum
+page occupancy can be maintained — the two defects the BV-tree removes.
+
+``stats.forced_splits`` counts pages split by a cascade (as opposed to
+ordinary overflow splits), and ``stats.max_cascade`` the largest number of
+pages a single insertion forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import (
+    DuplicateKeyError,
+    GeometryError,
+    KeyNotFoundError,
+    TreeInvariantError,
+)
+from repro.core.query import QueryResult
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+
+
+@dataclass
+class KDBStats:
+    """Structural event counters for the K-D-B tree."""
+
+    data_splits: int = 0
+    index_splits: int = 0
+    forced_splits: int = 0
+    max_cascade: int = 0
+
+
+class _DataPage:
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[tuple[tuple[float, ...], Any]] = []
+
+
+class _IndexPage:
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: list[tuple[Rect, int]] = []
+
+
+class KDBTree:
+    """A K-D-B tree over a bounded data space."""
+
+    def __init__(
+        self,
+        space: DataSpace,
+        data_capacity: int = 16,
+        fanout: int = 16,
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+    ):
+        if data_capacity < 2:
+            raise TreeInvariantError(
+                f"data pages must hold at least 2 points, got {data_capacity}"
+            )
+        if fanout < 4:
+            raise TreeInvariantError(f"fan-out must be at least 4, got {fanout}")
+        self.space = space
+        self.data_capacity = data_capacity
+        self.fanout = fanout
+        self.store = store if store is not None else PageStore(page_bytes)
+        self.stats = KDBStats()
+        self.count = 0
+        self.height = 0
+        self.root_page = self.store.allocate(_DataPage(), size_class=0)
+        self._cascade = 0
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+
+    def _descend(self, point: tuple[float, ...]) -> tuple[list[int], _DataPage]:
+        path = [self.root_page]
+        node = self.store.read(self.root_page)
+        while isinstance(node, _IndexPage):
+            for rect, child in node.children:
+                if rect.contains_point(point):
+                    path.append(child)
+                    node = self.store.read(child)
+                    break
+            else:
+                raise TreeInvariantError(
+                    f"no child region contains point {point}"
+                )
+        return path, node
+
+    def insert(
+        self, point: Sequence[float], value: Any = None, replace: bool = False
+    ) -> None:
+        """Insert a record; exact-duplicate points raise unless ``replace``."""
+        pt = tuple(float(x) for x in point)
+        if not self.space.whole_rect().contains_point(pt):
+            raise GeometryError(f"point {pt} outside the data space")
+        path, page = self._descend(pt)
+        for i, (existing, _) in enumerate(page.records):
+            if existing == pt:
+                if not replace:
+                    raise DuplicateKeyError(f"point {pt} already present")
+                page.records[i] = (pt, value)
+                self.store.write(path[-1], page)
+                return
+        page.records.append((pt, value))
+        self.store.write(path[-1], page)
+        self.count += 1
+        if len(page.records) > self.data_capacity:
+            self._cascade = 0
+            self._split_data(path, self.space.whole_rect())
+
+    def get(self, point: Sequence[float]) -> Any:
+        """The value at ``point`` (KeyNotFoundError if absent)."""
+        pt = tuple(float(x) for x in point)
+        _, page = self._descend(pt)
+        for existing, value in page.records:
+            if existing == pt:
+                return value
+        raise KeyNotFoundError(f"no record at {pt}")
+
+    def search_cost(self, point: Sequence[float]) -> int:
+        """Pages visited by an exact-match search."""
+        path, _ = self._descend(tuple(float(x) for x in point))
+        return len(path)
+
+    def delete(self, point: Sequence[float]) -> Any:
+        """Remove a record (no reorganisation — the paper's point is that
+        K-D-B deletion cannot maintain occupancy; see §1 and §5)."""
+        pt = tuple(float(x) for x in point)
+        path, page = self._descend(pt)
+        for i, (existing, value) in enumerate(page.records):
+            if existing == pt:
+                page.records.pop(i)
+                self.store.write(path[-1], page)
+                self.count -= 1
+                return value
+        raise KeyNotFoundError(f"no record at {pt}")
+
+    # ------------------------------------------------------------------
+    # Splitting, with cascades
+    # ------------------------------------------------------------------
+
+    def _region_of(self, path: list[int]) -> Rect:
+        """The rectangle of the page at the end of ``path``."""
+        rect = self.space.whole_rect()
+        for parent_page, child_page in zip(path, path[1:]):
+            parent: _IndexPage = self.store.read(parent_page)
+            for r, c in parent.children:
+                if c == child_page:
+                    rect = r
+                    break
+        return rect
+
+    def _split_data(self, path: list[int], _root_rect: Rect) -> None:
+        page_id = path[-1]
+        page: _DataPage = self.store.read(page_id)
+        rect = self._region_of(path)
+        dim, split_at = self._choose_plane_points(rect, page.records)
+        left_rect, right_rect = self._cut_rect(rect, dim, split_at)
+        left, right = _DataPage(), _DataPage()
+        for record in page.records:
+            (left if record[0][dim] < split_at else right).records.append(record)
+        self.stats.data_splits += 1
+        right_page = self.store.allocate(right, size_class=0)
+        self.store.write(page_id, left)
+        # Reuse page_id for the left half; register both with the parent.
+        self._replace_in_parent(
+            path, page_id, [(left_rect, page_id), (right_rect, right_page)]
+        )
+
+    def _choose_plane_points(
+        self, rect: Rect, records: list[tuple[tuple[float, ...], Any]]
+    ) -> tuple[int, float]:
+        """Median split along the widest dimension with spread."""
+        best_dim, best_spread = 0, -1.0
+        for dim in range(self.space.ndim):
+            values = [p[dim] for p, _ in records]
+            spread = max(values) - min(values)
+            if spread > best_spread:
+                best_dim, best_spread = dim, spread
+        values = sorted(p[best_dim] for p, _ in records)
+        split_at = values[len(values) // 2]
+        if split_at == values[0]:  # all medians equal the minimum
+            higher = [v for v in values if v > split_at]
+            if not higher:
+                raise TreeInvariantError(
+                    f"cannot split {len(records)} coincident points"
+                )
+            split_at = higher[0]
+        return best_dim, split_at
+
+    def _cut_rect(self, rect: Rect, dim: int, at: float) -> tuple[Rect, Rect]:
+        if not rect.lows[dim] < at < rect.highs[dim]:
+            raise TreeInvariantError(
+                f"plane {dim}={at} outside region {rect!r}"
+            )
+        left_highs = list(rect.highs)
+        left_highs[dim] = at
+        right_lows = list(rect.lows)
+        right_lows[dim] = at
+        return Rect(rect.lows, left_highs), Rect(right_lows, rect.highs)
+
+    def _replace_in_parent(
+        self,
+        path: list[int],
+        old_page: int,
+        replacements: list[tuple[Rect, int]],
+    ) -> None:
+        if len(path) == 1:
+            # The split page was the root: grow the tree.
+            root = _IndexPage()
+            root.children = replacements
+            self.root_page = self.store.allocate(root, size_class=1)
+            self.height += 1
+            self._check_index_overflow([self.root_page])
+            return
+        parent_page = path[-2]
+        parent: _IndexPage = self.store.read(parent_page)
+        parent.children = [
+            (r, c) for r, c in parent.children if c != old_page
+        ] + replacements
+        self.store.write(parent_page, parent)
+        self._check_index_overflow(path[:-1])
+
+    def _check_index_overflow(self, path: list[int]) -> None:
+        node_page = path[-1]
+        node: _IndexPage = self.store.read(node_page)
+        if len(node.children) <= self.fanout:
+            return
+        rect = self._region_of(path)
+        dim, split_at = self._choose_plane_children(rect, node.children)
+        self.stats.index_splits += 1
+        left_page, right_page = self._split_subtree_at(
+            node_page, rect, dim, split_at, forced=False
+        )
+        left_rect, right_rect = self._cut_rect(rect, dim, split_at)
+        self.stats.max_cascade = max(self.stats.max_cascade, self._cascade)
+        self._replace_in_parent(
+            path, node_page, [(left_rect, left_page), (right_rect, right_page)]
+        )
+
+    def _choose_plane_children(
+        self, rect: Rect, children: list[tuple[Rect, int]]
+    ) -> tuple[int, float]:
+        """A median plane over child boundaries (Robinson: an arbitrary
+        choice; taking a child boundary at least avoids cutting *every*
+        child, but some children straddle it in general)."""
+        best: tuple[int, float] | None = None
+        best_score = -1
+        for dim in range(self.space.ndim):
+            edges = sorted(
+                {r.lows[dim] for r, _ in children}
+                | {r.highs[dim] for r, _ in children}
+            )
+            edges = [e for e in edges if rect.lows[dim] < e < rect.highs[dim]]
+            if not edges:
+                continue
+            at = edges[len(edges) // 2]
+            left = sum(1 for r, _ in children if r.highs[dim] <= at)
+            right = sum(1 for r, _ in children if r.lows[dim] >= at)
+            score = min(left, right)
+            if score > best_score:
+                best, best_score = (dim, at), score
+        if best is None:
+            raise TreeInvariantError("no admissible split plane for index page")
+        return best
+
+    def _split_subtree_at(
+        self, page_id: int, rect: Rect, dim: int, at: float, forced: bool
+    ) -> tuple[int, int]:
+        """Split a subtree about a fixed plane; cascades into children.
+
+        This is the heart of the K-D-B pathology: except at the top, the
+        plane is imposed from above, so the split has no freedom to
+        balance and every straddling child is split recursively.
+        """
+        if forced:
+            self.stats.forced_splits += 1
+            self._cascade += 1
+        node = self.store.read(page_id)
+        if isinstance(node, _DataPage):
+            left, right = _DataPage(), _DataPage()
+            for record in node.records:
+                (left if record[0][dim] < at else right).records.append(record)
+            self.store.write(page_id, left)
+            right_page = self.store.allocate(right, size_class=0)
+            return page_id, right_page
+        left_node, right_node = _IndexPage(), _IndexPage()
+        for child_rect, child_page in node.children:
+            if child_rect.highs[dim] <= at:
+                left_node.children.append((child_rect, child_page))
+            elif child_rect.lows[dim] >= at:
+                right_node.children.append((child_rect, child_page))
+            else:
+                cl, cr = self._cut_rect(child_rect, dim, at)
+                pl, pr = self._split_subtree_at(
+                    child_page, child_rect, dim, at, forced=True
+                )
+                left_node.children.append((cl, pl))
+                right_node.children.append((cr, pr))
+        self.store.write(page_id, left_node)
+        right_page = self.store.allocate(right_node, size_class=1)
+        return page_id, right_page
+
+    # ------------------------------------------------------------------
+    # Queries and introspection
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> QueryResult:
+        """All records in the half-open box."""
+        rect = Rect(lows, highs)
+        result = QueryResult()
+        stack = [self.root_page]
+        while stack:
+            result.pages_visited += 1
+            node = self.store.read(stack.pop())
+            if isinstance(node, _DataPage):
+                result.data_pages_visited += 1
+                for point, value in node.records:
+                    if rect.contains_point(point):
+                        result.records.append((point, value))
+            else:
+                for child_rect, child in node.children:
+                    if child_rect.intersects(rect):
+                        stack.append(child)
+        return result
+
+    def occupancies(self) -> tuple[list[int], list[int]]:
+        """(data page sizes, index page child-counts)."""
+        data: list[int] = []
+        index: list[int] = []
+        stack = [self.root_page]
+        while stack:
+            node = self.store.read(stack.pop())
+            if isinstance(node, _DataPage):
+                data.append(len(node.records))
+            else:
+                index.append(len(node.children))
+                stack.extend(child for _, child in node.children)
+        return data, index
+
+    def check(self) -> None:
+        """Verify the partition: disjoint children tiling each region."""
+        total = 0
+        stack: list[tuple[int, Rect]] = [(self.root_page, self.space.whole_rect())]
+        while stack:
+            page_id, rect = stack.pop()
+            node = self.store.read(page_id)
+            if isinstance(node, _DataPage):
+                total += len(node.records)
+                for point, _ in node.records:
+                    if not rect.contains_point(point):
+                        raise TreeInvariantError(
+                            f"point {point} outside its region {rect!r}"
+                        )
+                continue
+            if not node.children:
+                raise TreeInvariantError(f"empty index page {page_id}")
+            volume = 0.0
+            for child_rect, child in node.children:
+                if not rect.contains_rect(child_rect):
+                    raise TreeInvariantError(
+                        f"child region {child_rect!r} escapes {rect!r}"
+                    )
+                volume += child_rect.volume()
+                stack.append((child, child_rect))
+            for i, (r1, _) in enumerate(node.children):
+                for r2, _ in node.children[i + 1 :]:
+                    if r1.intersects(r2):
+                        raise TreeInvariantError(
+                            f"overlapping child regions {r1!r} and {r2!r}"
+                        )
+            if abs(volume - rect.volume()) > 1e-9 * rect.volume():
+                raise TreeInvariantError(
+                    f"children of page {page_id} do not tile their region"
+                )
+        if total != self.count:
+            raise TreeInvariantError(
+                f"count {self.count} != records {total}"
+            )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"KDBTree({self.count} records, height={self.height})"

@@ -1,0 +1,391 @@
+"""The R+-tree ([SRF87]) — objects clipped into disjoint regions.
+
+The R+-tree removes the R-tree's overlap by partitioning space into
+disjoint regions and **duplicating** every object that straddles a
+region boundary into each region it intersects.  §1 names the
+consequence: "dividing an object into several parts ... introduces the
+uncontrollable update characteristics we are trying to avoid (and which,
+for example, the R+ tree also shows)".
+
+``stats.object_copies`` counts the stored copies beyond one per object,
+and ``stats.forced_partitions`` the splits whose cut line intersected
+objects; both grow with the data — the behaviour the dual representation
+(:mod:`repro.core.spatial`) avoids entirely.  Deletion is omitted, as in
+the original proposal's practical descriptions (deleting requires
+locating and removing every copy).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import GeometryError, TreeInvariantError
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+
+
+@dataclass
+class RPlusStats:
+    """Structural counters."""
+
+    leaf_splits: int = 0
+    branch_splits: int = 0
+    object_copies: int = 0
+    forced_partitions: int = 0
+
+
+class _Leaf:
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        # (object rect, object id, value); copies share the object id.
+        self.entries: list[tuple[Rect, int, Any]] = []
+
+
+class _Branch:
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: list[tuple[Rect, int]] = []  # disjoint (region, page)
+
+
+class RPlusTree:
+    """An R+-tree over rectangles (insert and query)."""
+
+    def __init__(
+        self,
+        space: DataSpace,
+        capacity: int = 16,
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+    ):
+        if capacity < 4:
+            raise TreeInvariantError(
+                f"R+-tree pages need capacity of at least 4, got {capacity}"
+            )
+        self.space = space
+        self.capacity = capacity
+        self.store = store if store is not None else PageStore(page_bytes)
+        self.stats = RPlusStats()
+        self.count = 0
+        self.height = 0
+        self.root_page = self.store.allocate(_Leaf(), size_class=0)
+        self._next_object = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Insertion — one copy per intersected leaf region
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: Any = None) -> None:
+        """Store an object (one copy per leaf region it intersects)."""
+        if rect.ndim != self.space.ndim:
+            raise GeometryError(
+                f"object is {rect.ndim}-d, space is {self.space.ndim}-d"
+            )
+        if not self.space.whole_rect().contains_rect(rect):
+            raise GeometryError(f"{rect!r} exceeds the data space")
+        object_id = next(self._next_object)
+        self.count += 1
+        leaves = self._leaves_intersecting(rect)
+        self.stats.object_copies += len(leaves) - 1
+        for path in leaves:
+            leaf: _Leaf = self.store.read(path[-1])
+            leaf.entries.append((rect, object_id, value))
+            self.store.write(path[-1], leaf)
+        # Splits after all copies are placed.  A split restructures the
+        # tree (possibly cascading into ancestors), so each subsequent
+        # overfull leaf is re-located with a fresh path.
+        for path in leaves:
+            page = path[-1]
+            if page not in self.store:
+                continue
+            leaf = self.store.read(page)
+            if isinstance(leaf, _Leaf) and len(leaf.entries) > self.capacity:
+                fresh = self._path_to(page)
+                if fresh is not None:
+                    self._split_leaf(fresh)
+
+    def _path_to(self, page: int) -> list[int] | None:
+        """A current root-to-page path (None if the page left the tree)."""
+        stack: list[list[int]] = [[self.root_page]]
+        while stack:
+            path = stack.pop()
+            if path[-1] == page:
+                return path
+            node = self.store.read(path[-1])
+            if isinstance(node, _Branch):
+                stack.extend(path + [child] for _, child in node.children)
+        return None
+
+    def _leaves_intersecting(self, rect: Rect) -> list[list[int]]:
+        paths: list[list[int]] = []
+        stack: list[list[int]] = [[self.root_page]]
+        while stack:
+            path = stack.pop()
+            node = self.store.read(path[-1])
+            if isinstance(node, _Leaf):
+                paths.append(path)
+                continue
+            for region, child in node.children:
+                if region.intersects(rect):
+                    stack.append(path + [child])
+        return paths
+
+    # ------------------------------------------------------------------
+    # Splitting — a cut line; straddling objects are duplicated
+    # ------------------------------------------------------------------
+
+    def _region_of(self, path: list[int]) -> Rect:
+        rect = self.space.whole_rect()
+        for parent_page, child_page in zip(path, path[1:]):
+            parent: _Branch = self.store.read(parent_page)
+            for r, c in parent.children:
+                if c == child_page:
+                    rect = r
+                    break
+        return rect
+
+    def _choose_cut(
+        self, region: Rect, rects: list[Rect]
+    ) -> tuple[int, float]:
+        """A cut minimising (straddles, imbalance) over object edges."""
+        best: tuple[int, float] | None = None
+        best_score: tuple[int, int] | None = None
+        for dim in range(self.space.ndim):
+            edges = sorted(
+                {r.lows[dim] for r in rects} | {r.highs[dim] for r in rects}
+            )
+            for at in edges:
+                if not region.lows[dim] < at < region.highs[dim]:
+                    continue
+                left = sum(1 for r in rects if r.lows[dim] < at)
+                right = sum(1 for r in rects if r.highs[dim] > at)
+                straddle = sum(
+                    1 for r in rects if r.lows[dim] < at < r.highs[dim]
+                )
+                if left == 0 or right == 0:
+                    continue
+                score = (straddle, abs(left - right))
+                if best_score is None or score < best_score:
+                    best, best_score = (dim, at), score
+        if best is None:
+            # All edges coincide with the region border: cut at the middle.
+            widths = [hi - lo for lo, hi in zip(region.lows, region.highs)]
+            dim = widths.index(max(widths))
+            best = (dim, (region.lows[dim] + region.highs[dim]) / 2)
+        return best
+
+    def _cut_rect(self, rect: Rect, dim: int, at: float) -> tuple[Rect, Rect]:
+        left_highs = list(rect.highs)
+        left_highs[dim] = at
+        right_lows = list(rect.lows)
+        right_lows[dim] = at
+        return Rect(rect.lows, left_highs), Rect(right_lows, rect.highs)
+
+    def _split_leaf(self, path: list[int]) -> None:
+        page_id = path[-1]
+        leaf: _Leaf = self.store.read(page_id)
+        region = self._region_of(path)
+        dim, at = self._choose_cut(region, [r for r, _, _ in leaf.entries])
+        left_region, right_region = self._cut_rect(region, dim, at)
+        left, right = _Leaf(), _Leaf()
+        for rect, object_id, value in leaf.entries:
+            in_left = rect.lows[dim] < at
+            in_right = rect.highs[dim] > at
+            if in_left:
+                left.entries.append((rect, object_id, value))
+            if in_right:
+                right.entries.append((rect, object_id, value))
+            if in_left and in_right:
+                self.stats.object_copies += 1
+        if any(
+            r.lows[dim] < at < r.highs[dim] for r, _, _ in leaf.entries
+        ):
+            self.stats.forced_partitions += 1
+        self.stats.leaf_splits += 1
+        right_page = self.store.allocate(right, size_class=0)
+        self.store.write(page_id, left)
+        self._replace_in_parent(
+            path, page_id,
+            [(left_region, page_id), (right_region, right_page)],
+        )
+
+    def _split_branch(self, path: list[int]) -> None:
+        # Disjoint child regions: cut along an existing child boundary
+        # where possible; children straddling the cut are split in place
+        # (recursively) — the same downward forcing as the K-D-B tree.
+        page_id = path[-1]
+        branch: _Branch = self.store.read(page_id)
+        region = self._region_of(path)
+        dim, at = self._choose_cut(region, [r for r, _ in branch.children])
+        left, right = _Branch(), _Branch()
+        for child_region, child in branch.children:
+            if child_region.highs[dim] <= at:
+                left.children.append((child_region, child))
+            elif child_region.lows[dim] >= at:
+                right.children.append((child_region, child))
+            else:
+                self.stats.forced_partitions += 1
+                cl, cr = self._cut_rect(child_region, dim, at)
+                pl, pr = self._split_subtree(child, dim, at)
+                left.children.append((cl, pl))
+                right.children.append((cr, pr))
+        left_region, right_region = self._cut_rect(region, dim, at)
+        self.stats.branch_splits += 1
+        right_page = self.store.allocate(right, size_class=1)
+        self.store.write(page_id, left)
+        self._replace_in_parent(
+            path, page_id,
+            [(left_region, page_id), (right_region, right_page)],
+        )
+
+    def _split_subtree(self, page: int, dim: int, at: float) -> tuple[int, int]:
+        node = self.store.read(page)
+        if isinstance(node, _Leaf):
+            left, right = _Leaf(), _Leaf()
+            for rect, object_id, value in node.entries:
+                if rect.lows[dim] < at:
+                    left.entries.append((rect, object_id, value))
+                if rect.highs[dim] > at:
+                    right.entries.append((rect, object_id, value))
+            self.store.write(page, left)
+            return page, self.store.allocate(right, size_class=0)
+        left_b, right_b = _Branch(), _Branch()
+        for child_region, child in node.children:
+            if child_region.highs[dim] <= at:
+                left_b.children.append((child_region, child))
+            elif child_region.lows[dim] >= at:
+                right_b.children.append((child_region, child))
+            else:
+                cl, cr = self._cut_rect(child_region, dim, at)
+                pl, pr = self._split_subtree(child, dim, at)
+                left_b.children.append((cl, pl))
+                right_b.children.append((cr, pr))
+        self.store.write(page, left_b)
+        return page, self.store.allocate(right_b, size_class=1)
+
+    def _replace_in_parent(
+        self,
+        path: list[int],
+        old_page: int,
+        replacements: list[tuple[Rect, int]],
+    ) -> None:
+        if len(path) == 1:
+            root = _Branch()
+            root.children = replacements
+            self.root_page = self.store.allocate(root, size_class=1)
+            self.height += 1
+            return
+        parent_page = path[-2]
+        parent: _Branch = self.store.read(parent_page)
+        parent.children = [
+            (r, c) for r, c in parent.children if c != old_page
+        ] + replacements
+        self.store.write(parent_page, parent)
+        if len(parent.children) > self.capacity:
+            self._split_branch(path[:-1])
+
+    # ------------------------------------------------------------------
+    # Queries — copies deduplicated by object id
+    # ------------------------------------------------------------------
+
+    def intersecting(self, rect: Rect) -> tuple[list[tuple[Rect, Any]], int]:
+        """Objects intersecting ``rect`` plus pages visited."""
+        seen: dict[int, tuple[Rect, Any]] = {}
+        pages = 0
+        stack = [self.root_page]
+        while stack:
+            pages += 1
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                for r, object_id, value in node.entries:
+                    if object_id not in seen and r.intersects(rect):
+                        seen[object_id] = (r, value)
+            else:
+                stack.extend(
+                    child for r, child in node.children if r.intersects(rect)
+                )
+        return list(seen.values()), pages
+
+    def containing_point(
+        self, point: Sequence[float]
+    ) -> tuple[list[tuple[Rect, Any]], int]:
+        """Objects containing ``point`` — one region, one path down."""
+        seen: dict[int, tuple[Rect, Any]] = {}
+        pages = 0
+        stack = [self.root_page]
+        while stack:
+            pages += 1
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                for r, object_id, value in node.entries:
+                    if object_id not in seen and r.contains_point(point):
+                        seen[object_id] = (r, value)
+            else:
+                stack.extend(
+                    child
+                    for r, child in node.children
+                    if r.contains_point(point)
+                )
+        return list(seen.values()), pages
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stored_copies(self) -> int:
+        """Total leaf entries — ``count`` plus the duplicated copies."""
+        total = 0
+        stack = [self.root_page]
+        while stack:
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                total += len(node.entries)
+            else:
+                stack.extend(c for _, c in node.children)
+        return total
+
+    def check(self) -> None:
+        """Verify region disjointness and copy/coverage consistency."""
+        object_ids: set[int] = set()
+        stack: list[tuple[int, Rect]] = [(self.root_page, self.space.whole_rect())]
+        while stack:
+            page, region = stack.pop()
+            node = self.store.read(page)
+            if isinstance(node, _Leaf):
+                for rect, object_id, _ in node.entries:
+                    if not rect.intersects(region):
+                        raise TreeInvariantError(
+                            f"copy of {rect!r} in non-intersecting region "
+                            f"{region!r}"
+                        )
+                    object_ids.add(object_id)
+                continue
+            for i, (r1, _) in enumerate(node.children):
+                for r2, _ in node.children[i + 1 :]:
+                    if r1.intersects(r2):
+                        raise TreeInvariantError(
+                            f"overlapping R+ regions {r1!r}, {r2!r}"
+                        )
+            for child_region, child in node.children:
+                if not region.contains_rect(child_region):
+                    raise TreeInvariantError(
+                        f"child region {child_region!r} escapes {region!r}"
+                    )
+                stack.append((child, child_region))
+        if len(object_ids) != self.count:
+            raise TreeInvariantError(
+                f"count {self.count} != distinct objects {len(object_ids)}"
+            )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"RPlusTree({self.count} objects, {self.stored_copies()} copies, "
+            f"height={self.height})"
+        )

@@ -1,0 +1,428 @@
+"""Guttman's R-tree ([Gut84]) — the spatial-object baseline of §8.
+
+Stores rectangles directly in leaves under a hierarchy of (possibly
+overlapping) minimum bounding rectangles.  Overlap is the R-tree's cost:
+an exact search may have to descend several subtrees, so neither search
+nor update cost is bounded — the worst-case behaviour [Fre89b] (cited in
+§8) sets out to fix with the dual representation reproduced in
+:mod:`repro.core.spatial`.
+
+Implements insertion with Guttman's quadratic split, intersection and
+containment queries, and deletion with the condense-and-reinsert scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.errors import GeometryError, KeyNotFoundError, TreeInvariantError
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+
+
+@dataclass
+class RTreeStats:
+    """Structural counters."""
+
+    leaf_splits: int = 0
+    branch_splits: int = 0
+    reinserts: int = 0
+
+
+def _mbr(rects: Sequence[Rect]) -> Rect:
+    lows = tuple(min(r.lows[d] for r in rects) for d in range(rects[0].ndim))
+    highs = tuple(max(r.highs[d] for r in rects) for d in range(rects[0].ndim))
+    return Rect(lows, highs)
+
+
+def _enlargement(mbr: Rect, rect: Rect) -> float:
+    merged = _mbr([mbr, rect])
+    return merged.volume() - mbr.volume()
+
+
+class _Leaf:
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[Rect, Any]] = []
+
+
+class _Branch:
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: list[tuple[Rect, int]] = []  # (mbr, page)
+
+
+class RTree:
+    """An R-tree over rectangles in a bounded data space."""
+
+    def __init__(
+        self,
+        space: DataSpace,
+        capacity: int = 16,
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+    ):
+        if capacity < 4:
+            raise TreeInvariantError(
+                f"R-tree pages need capacity of at least 4, got {capacity}"
+            )
+        self.space = space
+        self.capacity = capacity
+        self.min_fill = max(2, capacity // 3)
+        self.store = store if store is not None else PageStore(page_bytes)
+        self.stats = RTreeStats()
+        self.count = 0
+        self.height = 0
+        self.root_page = self.store.allocate(_Leaf(), size_class=0)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: Any = None) -> None:
+        """Store an object."""
+        if rect.ndim != self.space.ndim:
+            raise GeometryError(
+                f"object is {rect.ndim}-d, space is {self.space.ndim}-d"
+            )
+        if not self.space.whole_rect().contains_rect(rect):
+            raise GeometryError(f"{rect!r} exceeds the data space")
+        path = self._choose_leaf(rect)
+        leaf: _Leaf = self.store.read(path[-1])
+        leaf.entries.append((rect, value))
+        self.store.write(path[-1], leaf)
+        self.count += 1
+        if len(leaf.entries) > self.capacity:
+            self._split_leaf(path)
+        else:
+            self._adjust_mbrs(path)
+
+    def _choose_leaf(self, rect: Rect) -> list[int]:
+        path = [self.root_page]
+        node = self.store.read(self.root_page)
+        while isinstance(node, _Branch):
+            best = min(
+                node.children,
+                key=lambda child: (
+                    _enlargement(child[0], rect),
+                    child[0].volume(),
+                ),
+            )
+            path.append(best[1])
+            node = self.store.read(best[1])
+        return path
+
+    def _quadratic_split(self, rects: list[Rect]) -> tuple[list[int], list[int]]:
+        """Guttman's quadratic split: index partition of ``rects``."""
+        worst_pair, worst_waste = (0, 1), float("-inf")
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = (
+                    _mbr([rects[i], rects[j]]).volume()
+                    - rects[i].volume()
+                    - rects[j].volume()
+                )
+                if waste > worst_waste:
+                    worst_pair, worst_waste = (i, j), waste
+        a, b = worst_pair
+        groups: tuple[list[int], list[int]] = ([a], [b])
+        mbrs = [rects[a], rects[b]]
+        remaining = [i for i in range(len(rects)) if i not in (a, b)]
+        while remaining:
+            # Force the rest into a group that must reach minimum fill.
+            for g in (0, 1):
+                if len(groups[g]) + len(remaining) == self.min_fill:
+                    groups[g].extend(remaining)
+                    remaining = []
+                    break
+            if not remaining:
+                break
+            # Pick the entry with the strongest preference.
+            def preference(i: int) -> float:
+                return abs(
+                    _enlargement(mbrs[0], rects[i])
+                    - _enlargement(mbrs[1], rects[i])
+                )
+
+            chosen = max(remaining, key=preference)
+            remaining.remove(chosen)
+            g = (
+                0
+                if _enlargement(mbrs[0], rects[chosen])
+                <= _enlargement(mbrs[1], rects[chosen])
+                else 1
+            )
+            groups[g].append(chosen)
+            mbrs[g] = _mbr([mbrs[g], rects[chosen]])
+        return groups
+
+    def _split_leaf(self, path: list[int]) -> None:
+        page_id = path[-1]
+        leaf: _Leaf = self.store.read(page_id)
+        group_a, group_b = self._quadratic_split([r for r, _ in leaf.entries])
+        entries = leaf.entries
+        leaf.entries = [entries[i] for i in group_a]
+        sibling = _Leaf()
+        sibling.entries = [entries[i] for i in group_b]
+        sibling_page = self.store.allocate(sibling, size_class=0)
+        self.store.write(page_id, leaf)
+        self.stats.leaf_splits += 1
+        self._insert_in_parent(
+            path[:-1],
+            page_id,
+            _mbr([r for r, _ in leaf.entries]),
+            sibling_page,
+            _mbr([r for r, _ in sibling.entries]),
+        )
+
+    def _split_branch(self, path: list[int]) -> None:
+        page_id = path[-1]
+        branch: _Branch = self.store.read(page_id)
+        group_a, group_b = self._quadratic_split([r for r, _ in branch.children])
+        children = branch.children
+        branch.children = [children[i] for i in group_a]
+        sibling = _Branch()
+        sibling.children = [children[i] for i in group_b]
+        sibling_page = self.store.allocate(sibling, size_class=1)
+        self.store.write(page_id, branch)
+        self.stats.branch_splits += 1
+        self._insert_in_parent(
+            path[:-1],
+            page_id,
+            _mbr([r for r, _ in branch.children]),
+            sibling_page,
+            _mbr([r for r, _ in sibling.children]),
+        )
+
+    def _insert_in_parent(
+        self,
+        path: list[int],
+        left_page: int,
+        left_mbr: Rect,
+        right_page: int,
+        right_mbr: Rect,
+    ) -> None:
+        if not path:
+            root = _Branch()
+            root.children = [(left_mbr, left_page), (right_mbr, right_page)]
+            self.root_page = self.store.allocate(root, size_class=1)
+            self.height += 1
+            return
+        parent_page = path[-1]
+        parent: _Branch = self.store.read(parent_page)
+        parent.children = [
+            (left_mbr if c == left_page else r, c) for r, c in parent.children
+        ]
+        parent.children.append((right_mbr, right_page))
+        self.store.write(parent_page, parent)
+        if len(parent.children) > self.capacity:
+            self._split_branch(path)
+        else:
+            self._adjust_mbrs(path)
+
+    def _adjust_mbrs(self, path: list[int]) -> None:
+        for parent_page, child_page in zip(reversed(path[:-1]), reversed(path[1:])):
+            parent: _Branch = self.store.read(parent_page)
+            child = self.store.read(child_page)
+            rects = (
+                [r for r, _ in child.entries]
+                if isinstance(child, _Leaf)
+                else [r for r, _ in child.children]
+            )
+            if not rects:
+                continue
+            new_mbr = _mbr(rects)
+            parent.children = [
+                (new_mbr if c == child_page else r, c)
+                for r, c in parent.children
+            ]
+            self.store.write(parent_page, parent)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def intersecting(self, rect: Rect) -> tuple[list[tuple[Rect, Any]], int]:
+        """Objects intersecting ``rect`` plus pages visited.
+
+        Overlapping sibling MBRs mean several subtrees may be entered —
+        the unbounded-search behaviour §8's dual representation avoids.
+        """
+        out: list[tuple[Rect, Any]] = []
+        pages = 0
+        stack = [self.root_page]
+        while stack:
+            pages += 1
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                out.extend(
+                    (r, v) for r, v in node.entries if r.intersects(rect)
+                )
+            else:
+                stack.extend(
+                    child for r, child in node.children if r.intersects(rect)
+                )
+        return out, pages
+
+    def containing_point(
+        self, point: Sequence[float]
+    ) -> tuple[list[tuple[Rect, Any]], int]:
+        """Objects containing ``point`` (stabbing query) plus pages visited."""
+        out: list[tuple[Rect, Any]] = []
+        pages = 0
+        stack = [self.root_page]
+        while stack:
+            pages += 1
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                out.extend(
+                    (r, v) for r, v in node.entries if r.contains_point(point)
+                )
+            else:
+                stack.extend(
+                    child
+                    for r, child in node.children
+                    if r.contains_point(point)
+                )
+        return out, pages
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, value: Any = None) -> None:
+        """Remove one object with this exact rectangle and value."""
+        found = self._find_leaf(self.root_page, [], rect, value)
+        if found is None:
+            raise KeyNotFoundError(f"no object {rect!r} with value {value!r}")
+        path = found
+        leaf: _Leaf = self.store.read(path[-1])
+        leaf.entries.remove((rect, value))
+        self.store.write(path[-1], leaf)
+        self.count -= 1
+        self._condense(path)
+
+    def _find_leaf(
+        self, page: int, path: list[int], rect: Rect, value: Any
+    ) -> list[int] | None:
+        path = path + [page]
+        node = self.store.read(page)
+        if isinstance(node, _Leaf):
+            return path if (rect, value) in node.entries else None
+        for mbr, child in node.children:
+            if mbr.contains_rect(rect):
+                result = self._find_leaf(child, path, rect, value)
+                if result is not None:
+                    return result
+        return None
+
+    def _condense(self, path: list[int]) -> None:
+        orphans: list[tuple[Rect, Any]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            page = path[depth]
+            parent_page = path[depth - 1]
+            node = self.store.read(page)
+            size = (
+                len(node.entries)
+                if isinstance(node, _Leaf)
+                else len(node.children)
+            )
+            if size < self.min_fill and page != self.root_page:
+                parent: _Branch = self.store.read(parent_page)
+                parent.children = [
+                    (r, c) for r, c in parent.children if c != page
+                ]
+                self.store.write(parent_page, parent)
+                if isinstance(node, _Leaf):
+                    orphans.extend(node.entries)
+                else:
+                    orphans.extend(self._collect_objects(page))
+                self.store.free(page)
+            else:
+                self._adjust_mbrs(path[: depth + 1])
+        self._shrink_root()
+        for rect, value in orphans:
+            self.stats.reinserts += 1
+            self.count -= 1  # insert() re-increments
+            self.insert(rect, value)
+
+    def _collect_objects(self, page: int) -> list[tuple[Rect, Any]]:
+        out: list[tuple[Rect, Any]] = []
+        stack = [page]
+        while stack:
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                out.extend(node.entries)
+            else:
+                stack.extend(c for _, c in node.children)
+        for inner in self._pages_under(page):
+            if inner != page:
+                self.store.free(inner)
+        return out
+
+    def _pages_under(self, page: int) -> list[int]:
+        pages = [page]
+        node = self.store.read(page)
+        if isinstance(node, _Branch):
+            for _, child in node.children:
+                pages.extend(self._pages_under(child))
+        return pages
+
+    def _shrink_root(self) -> None:
+        while True:
+            node = self.store.read(self.root_page)
+            if isinstance(node, _Branch) and len(node.children) == 1:
+                old = self.root_page
+                self.root_page = node.children[0][1]
+                self.store.free(old)
+                self.height -= 1
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Rect, Any]]:
+        """Iterate all stored objects."""
+        stack = [self.root_page]
+        while stack:
+            node = self.store.read(stack.pop())
+            if isinstance(node, _Leaf):
+                yield from node.entries
+            else:
+                stack.extend(c for _, c in node.children)
+
+    def check(self) -> None:
+        """Verify MBR containment and the object count."""
+        total = 0
+        stack: list[tuple[int, Rect | None]] = [(self.root_page, None)]
+        while stack:
+            page, bound = stack.pop()
+            node = self.store.read(page)
+            if isinstance(node, _Leaf):
+                total += len(node.entries)
+                for rect, _ in node.entries:
+                    if bound is not None and not bound.contains_rect(rect):
+                        raise TreeInvariantError(
+                            f"object {rect!r} escapes its MBR {bound!r}"
+                        )
+                continue
+            for mbr, child in node.children:
+                if bound is not None and not bound.contains_rect(mbr):
+                    raise TreeInvariantError(
+                        f"child MBR {mbr!r} escapes parent {bound!r}"
+                    )
+                stack.append((child, mbr))
+        if total != self.count:
+            raise TreeInvariantError(f"count {self.count} != objects {total}")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"RTree({self.count} objects, height={self.height})"

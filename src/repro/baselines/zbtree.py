@@ -1,0 +1,184 @@
+"""Z-order (Morton) linearisation over a B+-tree ([Ore86]).
+
+The workaround the paper discusses in §1: map each point's interleaved bit
+path to a scalar and index it with an ordinary B-tree, inheriting the
+B-tree's worst-case guarantees for exact-match and updates.  The two
+documented drawbacks are reproduced here:
+
+- **No contraction to occupied subspaces**: a range query must be
+  decomposed into Z-intervals over the *whole* data space; empty regions
+  still fragment the interval set, so range queries touch more pages than
+  a region-contracting index ([KSS+90]).
+- **No direct representation of extended objects** (not applicable to
+  point workloads, discussed in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import GeometryError
+from repro.core.query import QueryResult
+from repro.baselines.btree import BPlusTree
+from repro.geometry.rect import Rect
+from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+
+
+class ZOrderBTree:
+    """Points indexed by their Morton code in a B+-tree."""
+
+    def __init__(
+        self,
+        space: DataSpace,
+        leaf_capacity: int = 16,
+        fanout: int = 16,
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+        max_intervals: int = 64,
+    ):
+        self.space = space
+        self.tree = BPlusTree(
+            leaf_capacity=leaf_capacity,
+            fanout=fanout,
+            page_bytes=page_bytes,
+            store=store,
+        )
+        self.max_intervals = max_intervals
+
+    @property
+    def store(self) -> PageStore:
+        """The underlying page store (for I/O accounting)."""
+        return self.tree.store
+
+    @property
+    def count(self) -> int:
+        """Number of records."""
+        return self.tree.count
+
+    @property
+    def height(self) -> int:
+        """Branch levels above the leaves."""
+        return self.tree.height
+
+    # ------------------------------------------------------------------
+    # Point operations — straight B-tree operations on the Morton code
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: Sequence[float], value: Any = None, replace: bool = False
+    ) -> None:
+        """Insert a record keyed by the point's Morton code."""
+        pt = tuple(float(x) for x in point)
+        self.tree.insert(self.space.point_path(pt), (pt, value), replace=replace)
+
+    def get(self, point: Sequence[float]) -> Any:
+        """The value stored at ``point``."""
+        return self.tree.get(self.space.point_path(point))[1]
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True if a record exists at ``point``."""
+        return self.tree.contains(self.space.point_path(point))
+
+    def delete(self, point: Sequence[float]) -> Any:
+        """Remove and return the record at ``point``."""
+        return self.tree.delete(self.space.point_path(point))[1]
+
+    def search_cost(self, point: Sequence[float]) -> int:
+        """Pages visited by an exact-match search."""
+        return self.tree.search_cost(self.space.point_path(point))
+
+    # ------------------------------------------------------------------
+    # Range queries via Z-interval decomposition
+    # ------------------------------------------------------------------
+
+    def z_intervals(self, rect: Rect) -> list[tuple[int, int]]:
+        """Decompose a box into Morton-code intervals.
+
+        Recursively refines the binary partition: blocks fully inside the
+        box become whole intervals, partially overlapping blocks are
+        subdivided until the interval budget ``max_intervals`` is reached,
+        after which partial blocks are conservatively included (records
+        are filtered afterwards, so results stay exact — the budget only
+        trades interval count against interval tightness, as real Z-order
+        implementations do).
+        """
+        if rect.ndim != self.space.ndim:
+            raise GeometryError(
+                f"query box is {rect.ndim}-d, space is {self.space.ndim}-d"
+            )
+        intervals: list[tuple[int, int]] = []
+        frontier: list[RegionKey] = [ROOT_KEY]
+        while frontier:
+            refined: list[RegionKey] = []
+            for key in frontier:
+                block = self.space.key_rect(key)
+                if not block.intersects(rect):
+                    continue
+                if rect.contains_rect(block) or key.nbits >= self.space.path_bits:
+                    intervals.append(self._key_interval(key))
+                elif (
+                    len(intervals) + len(refined) + len(frontier)
+                    >= self.max_intervals
+                ):
+                    intervals.append(self._key_interval(key))
+                else:
+                    refined.append(key.child(0))
+                    refined.append(key.child(1))
+            frontier = refined
+        intervals.sort()
+        merged: list[tuple[int, int]] = []
+        for low, high in intervals:
+            if merged and low <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], high))
+            else:
+                merged.append((low, high))
+        return merged
+
+    def _key_interval(self, key: RegionKey) -> tuple[int, int]:
+        shift = self.space.path_bits - key.nbits
+        low = key.value << shift
+        return low, low + (1 << shift) - 1
+
+    def range_query(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> QueryResult:
+        """All records in the half-open box, via Z-interval scans."""
+        rect = Rect(lows, highs)
+        result = QueryResult()
+        for low, high in self.z_intervals(rect):
+            records, pages = self.tree.range_scan(low, high + 1)
+            result.pages_visited += pages
+            result.data_pages_visited += pages
+            for _, (point, value) in records:
+                if rect.contains_point(point):
+                    result.records.append((point, value))
+        return result
+
+    def partial_match(self, constraints: dict[int, float]) -> QueryResult:
+        """Exact values on a subset of dimensions (grid-cell granularity)."""
+        space = self.space
+        cells = 1 << space.resolution
+        lows, highs = [], []
+        for dim, (lo, hi) in enumerate(space.bounds):
+            if dim in constraints:
+                value = constraints[dim]
+                if not lo <= value <= hi:
+                    raise GeometryError(
+                        f"constraint {value} outside [{lo}, {hi}]"
+                    )
+                span = hi - lo
+                g = min(int((value - lo) / span * cells), cells - 1)
+                lows.append(lo + g / cells * span)
+                highs.append(lo + (g + 1) / cells * span)
+            else:
+                lows.append(lo)
+                highs.append(hi)
+        return self.range_query(lows, highs)
+
+    def __len__(self) -> int:
+        return self.tree.count
+
+    def __repr__(self) -> str:
+        return f"ZOrderBTree({self.tree.count} records, height={self.tree.height})"

@@ -1,0 +1,95 @@
+"""Benchmark harness: build any index over any workload, measure costs.
+
+All structures share the same protocol surface (``insert``, ``get``,
+range queries and occupancy introspection), so the experiment modules in
+``benchmarks/`` can sweep over structures with one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.baselines import BangFile, KDBTree, LSDTree, ZOrderBTree
+from repro.core.tree import BVTree
+from repro.errors import ReproError
+from repro.geometry.space import DataSpace
+
+#: The comparable point-index structures, by short name.
+INDEX_KINDS: dict[str, Callable[..., Any]] = {
+    "bv": BVTree,
+    "zorder": ZOrderBTree,
+    "kdb": KDBTree,
+    "bang": BangFile,
+    "lsd": LSDTree,
+}
+
+
+def build_index(
+    kind: str,
+    space: DataSpace,
+    points: Iterable[tuple[float, ...]],
+    data_capacity: int = 16,
+    fanout: int = 16,
+    **kwargs: Any,
+) -> Any:
+    """Construct an index of the given kind and bulk-load the points."""
+    try:
+        factory = INDEX_KINDS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown index kind {kind!r}; choose from {sorted(INDEX_KINDS)}"
+        ) from None
+    if kind == "zorder":
+        index = factory(
+            space, leaf_capacity=data_capacity, fanout=fanout, **kwargs
+        )
+    else:
+        index = factory(
+            space, data_capacity=data_capacity, fanout=fanout, **kwargs
+        )
+    for i, point in enumerate(points):
+        index.insert(point, i, replace=True)
+    return index
+
+
+def search_cost(index: Any, point: Sequence[float]) -> int:
+    """Pages visited by one exact-match search, uniformly across kinds."""
+    if isinstance(index, BVTree):
+        return index.search(point).nodes_visited
+    return index.search_cost(point)
+
+
+@dataclass
+class OccupancySummary:
+    """Occupancy distribution of one page population."""
+
+    count: int
+    minimum: int
+    mean: float
+    fill_min: float
+    fill_mean: float
+
+
+def occupancy_summary(sizes: Sequence[int], capacity: int) -> OccupancySummary:
+    """Summarise page occupancies against a capacity."""
+    if not sizes:
+        return OccupancySummary(0, 0, 0.0, 0.0, 0.0)
+    mean = sum(sizes) / len(sizes)
+    return OccupancySummary(
+        count=len(sizes),
+        minimum=min(sizes),
+        mean=mean,
+        fill_min=min(sizes) / capacity,
+        fill_mean=mean / capacity,
+    )
+
+
+def index_occupancies(index: Any) -> tuple[list[int], list[int]]:
+    """(data page sizes, index node sizes) for any structure."""
+    if isinstance(index, BVTree):
+        stats = index.tree_stats()
+        return stats.data_occupancies, stats.index_occupancies
+    if isinstance(index, ZOrderBTree):
+        return index.tree.node_occupancies()
+    return index.occupancies()

@@ -1,0 +1,221 @@
+"""Command-line interface: run the paper's analyses and demos.
+
+::
+
+    python -m repro figures --fanout 24        # Figure 7-1
+    python -m repro thresholds                 # §7.2/§7.3 file-size claims
+    python -m repro demo --workload clustered  # build a BV-tree, show stats
+    python -m repro compare --n 10000          # BV vs the baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis import capacity, figures
+from repro.bench.harness import INDEX_KINDS, build_index, index_occupancies
+from repro.bench.reporting import format_table
+from repro.geometry.space import DataSpace
+from repro.workloads import (
+    clustered,
+    diagonal,
+    nested_hotspot,
+    promotion_storm,
+    skewed,
+    uniform,
+    zipf_grid,
+)
+
+WORKLOADS = {
+    "uniform": uniform,
+    "clustered": clustered,
+    "skewed": skewed,
+    "diagonal": diagonal,
+    "zipf": zipf_grid,
+    "hotspot": nested_hotspot,
+    "storm": promotion_storm,
+}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    rows = figures.figure_series(
+        args.fanout, integer_constrained=args.integer
+    )
+    print(figures.render_figure(rows, args.fanout))
+    print()
+    growth = figures.height_growth_table(
+        args.fanout, range(1, 8), integer_constrained=args.integer
+    )
+    print(format_table(
+        ["best-case height", "worst-case height"],
+        growth,
+        title="height needed to hold the same data in the worst case",
+    ))
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    rows = []
+    for fanout in args.fanouts:
+        for penalty in (0, 1, 2):
+            size = capacity.max_file_size_with_penalty(
+                fanout, penalty, page_bytes=args.page_bytes
+            )
+            rows.append([fanout, penalty, f"{size / 1e9:,.2f} GB"])
+    print(format_table(
+        ["fan-out F", "extra levels tolerated", "file size threshold"],
+        rows,
+        title=f"worst-case height penalties ({args.page_bytes} B data pages)",
+    ))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    space = DataSpace.unit(args.dims, resolution=18)
+    points = WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    tree = build_index(
+        "bv",
+        space,
+        points,
+        data_capacity=args.data_capacity,
+        fanout=args.fanout,
+        policy=args.policy,
+    )
+    stats = tree.tree_stats()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["records", stats.n_points],
+            ["height", stats.height],
+            ["data pages", stats.data_pages],
+            ["index nodes", stats.index_nodes],
+            ["guards", stats.total_guards],
+            ["min data occupancy", stats.min_data_occupancy],
+            ["guaranteed minimum", tree.policy.min_data_occupancy()],
+            ["avg data fill", f"{stats.avg_data_occupancy:.2f}"],
+            ["promotions", tree.stats.promotions],
+            ["demotions", tree.stats.demotions],
+            ["search cost (pages)", tree.height + 1],
+        ],
+        title=f"BV-tree on {args.n} {args.workload} points "
+              f"({args.dims}-d, P={args.data_capacity}, F={args.fanout}, "
+              f"{args.policy} pages)",
+    ))
+    tree.check(sample_points=min(200, stats.n_points))
+    print("invariants verified")
+    if args.show_tree:
+        from repro.core.render import render_tree
+
+        print()
+        print(render_tree(tree, max_depth=args.show_tree))
+    if args.show_partition:
+        from repro.core.render import render_partition
+
+        print()
+        print(render_partition(tree))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    space = DataSpace.unit(args.dims, resolution=18)
+    points = list(WORKLOADS[args.workload](args.n, args.dims, seed=args.seed))
+    rows = []
+    for kind in args.structures:
+        index = build_index(
+            kind,
+            space,
+            points,
+            data_capacity=args.data_capacity,
+            fanout=args.fanout,
+        )
+        data, idx = index_occupancies(index)
+        forced = getattr(getattr(index, "stats", None), "forced_splits", 0)
+        cascade = getattr(getattr(index, "stats", None), "max_cascade", 0)
+        rows.append([
+            kind,
+            index.height,
+            len(data),
+            min(data),
+            f"{sum(data) / len(data):.1f}",
+            forced,
+            cascade,
+        ])
+    print(format_table(
+        ["structure", "height", "data pages", "min occ", "avg occ",
+         "forced splits", "worst insert"],
+        rows,
+        title=f"{args.n} {args.workload} points "
+              f"(P={args.data_capacity}, F={args.fanout})",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BV-tree reproduction (Freeston, SIGMOD 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="reproduce Figure 7-1/7-2")
+    p.add_argument("--fanout", type=int, default=24)
+    p.add_argument(
+        "--integer",
+        action="store_true",
+        help="use the integer-constrained worst-case recursion",
+    )
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("thresholds", help="§7.2/§7.3 file-size thresholds")
+    p.add_argument("--fanouts", type=int, nargs="+", default=[24, 120])
+    p.add_argument("--page-bytes", type=int, default=1024)
+    p.set_defaults(func=_cmd_thresholds)
+
+    for name, help_text in (
+        ("demo", "build a BV-tree and print its statistics"),
+        ("compare", "compare the BV-tree with the baselines"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--workload", choices=sorted(WORKLOADS), default="uniform")
+        p.add_argument("--n", type=int, default=10_000)
+        p.add_argument("--dims", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--data-capacity", type=int, default=16)
+        p.add_argument("--fanout", type=int, default=16)
+        if name == "demo":
+            p.add_argument(
+                "--policy", choices=["scaled", "uniform"], default="scaled"
+            )
+            p.add_argument(
+                "--show-tree",
+                type=int,
+                default=0,
+                metavar="DEPTH",
+                help="print the index structure to the given depth",
+            )
+            p.add_argument(
+                "--show-partition",
+                action="store_true",
+                help="print a raster of the 2-d level-0 partition",
+            )
+            p.set_defaults(func=_cmd_demo)
+        else:
+            p.add_argument(
+                "--structures",
+                nargs="+",
+                choices=sorted(INDEX_KINDS),
+                default=["bv", "kdb", "bang", "lsd", "zorder"],
+            )
+            p.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The BV-tree — the paper's primary contribution.
+
+A BV-tree indexes points of an n-dimensional :class:`~repro.geometry.DataSpace`
+with the characteristics of the one-dimensional B-tree, as far as is
+topologically possible (Freeston, SIGMOD 1995):
+
+- every exact-match search and every update touches exactly
+  ``height + 1`` pages (the index tree may be unbalanced, but the
+  *partition hierarchy* it represents is not);
+- both data and index pages keep a guaranteed minimum occupancy of
+  one third;
+- a single insertion never cascades: a split affects one node and its
+  parent chain only, never the subtrees below.
+
+The trick is *promotion*: when an index-node split boundary would cut a
+lower-level region, that region's entry moves up into the parent node as a
+**guard** instead of being split.  Searches carry a **guard set** down the
+tree, which re-constitutes the partition hierarchy on the fly.
+
+Public entry point: :class:`~repro.core.tree.BVTree`.
+"""
+
+from repro.core.entry import Entry
+from repro.core.node import DataPage, IndexNode
+from repro.core.policy import CapacityPolicy
+from repro.core.tree import BVTree
+
+__all__ = ["BVTree", "CapacityPolicy", "DataPage", "Entry", "IndexNode"]

@@ -1,0 +1,51 @@
+"""Index entries: (region key, partition level, page pointer) triples.
+
+Every entry in a BV-tree index node is labelled with the *partition level*
+of the region it identifies (paper §2).  The label is what tells guards
+apart from unpromoted entries: in a node at index level ``L``, entries of
+level ``L - 1`` are *native* (unpromoted) and entries of any lower level are
+*guards* that were promoted into the node.  A region's level never changes;
+promotion and demotion only change which node the entry is stored in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeInvariantError
+from repro.geometry.region import RegionKey
+
+
+class Entry:
+    """One region entry in an index node.
+
+    ``level == 0`` entries point at data pages; entries of level ``x >= 1``
+    point at index nodes of index level ``x`` (the roots of their subtrees,
+    which travel with them on promotion — paper §2).
+    """
+
+    __slots__ = ("key", "level", "page")
+
+    def __init__(self, key: RegionKey, level: int, page: int):
+        if level < 0:
+            raise TreeInvariantError(f"negative partition level {level}")
+        self.key = key
+        self.level = level
+        self.page = page
+
+    def is_native_in(self, index_level: int) -> bool:
+        """True if this entry is unpromoted in a node of ``index_level``."""
+        return self.level == index_level - 1
+
+    def matches_path(self, path: int, path_bits: int) -> bool:
+        """True if the entry's block contains the given bit path.
+
+        A path shorter than the key (a region key used as a path, e.g.
+        during demotion descents) is never contained: containment of a
+        block requires the entry's key to be a prefix of it.
+        """
+        return path_bits >= self.key.nbits and self.key.contains_path(
+            path, path_bits
+        )
+
+    def __repr__(self) -> str:
+        key = self.key.bit_string() or "ε"
+        return f"Entry({key!r}, level={self.level}, page={self.page})"

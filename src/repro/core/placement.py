@@ -1,0 +1,125 @@
+"""Canonical placement: where an entry belongs in the index tree.
+
+The key sets per partition level define region extents (BANG semantics): a
+level-``x`` region is its block minus the blocks of same-level keys nested
+inside it.  An entry's canonical position follows from its key alone:
+
+- A region whose extent is contained in a single level-``x+1`` region sits
+  **native** in that region's node.
+- A region that *straddles* a higher-level region's boundary — its key is
+  a proper prefix of the higher key and no same-level key **shadows** the
+  pair — must sit as a **guard** at the straddled region's branch point or
+  above (paper §2); placement walks from the root and lodges at the first
+  node holding an unshadowed straddled entry, which is exactly that branch
+  point.
+
+Shadowing is global: ``u`` shadows the pair ``g ⊏ t`` when ``g ⊏ u ⊑ t``
+at ``g``'s level, because ``u``'s block covers all of ``t``'s block and is
+closer than ``g``, so ``g``'s extent has no points inside ``t``.  The
+tree's key registry answers shadow queries with a prefix walk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TreeInvariantError
+from repro.core.descent import step
+from repro.core.entry import Entry
+from repro.core.guards import GuardSet
+from repro.core.node import IndexNode
+from repro.geometry.region import RegionKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tree import BVTree
+
+#: Keys treated as absent during a placement query (mid-merge drops).
+Excluded = frozenset[RegionKey]
+
+NO_EXCLUDE: Excluded = frozenset()
+
+
+def shadowed(
+    tree: "BVTree",
+    level: int,
+    lower: RegionKey,
+    upper: RegionKey,
+    exclude: Excluded = NO_EXCLUDE,
+) -> bool:
+    """Is any level-``level`` key strictly between ``lower ⊏ upper``?"""
+    registry = tree.keys.get(level, {})
+    for length in range(upper.nbits, lower.nbits, -1):
+        candidate = upper.prefix(length)
+        if candidate in registry and candidate not in exclude:
+            return True
+    return False
+
+
+def canonical_encloser(
+    tree: "BVTree",
+    level: int,
+    key: RegionKey,
+    exclude: Excluded = NO_EXCLUDE,
+) -> Entry | None:
+    """The entry of the longest same-level proper prefix of ``key``."""
+    registry = tree.keys.get(level, {})
+    for length in range(key.nbits - 1, -1, -1):
+        candidate = key.prefix(length)
+        if candidate in registry and candidate not in exclude:
+            return registry[candidate]
+    return None
+
+
+def justified(
+    tree: "BVTree",
+    entry: Entry,
+    node: IndexNode,
+    exclude: Excluded = NO_EXCLUDE,
+) -> bool:
+    """Does ``entry`` straddle a higher-level entry of this node?
+
+    True when the node holds an entry of higher level whose key the
+    entry's key properly prefixes, with no same-level key shadowing the
+    pair anywhere in the tree.  This is the §2/§4 criterion for an entry
+    to sit at this node as a guard.
+    """
+    for target in node.entries:
+        if target.level <= entry.level:
+            continue
+        if not entry.key.encloses(target.key):
+            continue
+        if not shadowed(tree, entry.level, entry.key, target.key, exclude):
+            return True
+    return False
+
+
+def placement_walk(
+    tree: "BVTree",
+    key: RegionKey,
+    level: int,
+    exclude: Excluded = NO_EXCLUDE,
+) -> tuple[int, bool]:
+    """The canonical node for a level-``level`` region with this key.
+
+    Returns ``(node_page, as_guard)``: the first node from the root where
+    the region straddles an unshadowed higher-level entry (guard
+    position), or the node at index level ``level + 1`` on the key's
+    descent (native position).  Read-only; ``exclude`` simulates keys
+    about to be dropped by a merge.
+    """
+    current = tree.root_entry()
+    guards = GuardSet()
+    while True:
+        node_page = current.page
+        node: IndexNode = tree.store.read(node_page)
+        if node.index_level == level + 1:
+            return node_page, False
+        probe = Entry(key, level, 0)
+        if justified(tree, probe, node, exclude):
+            return node_page, True
+        current, _ = step(node, node_page, key.value, key.nbits, guards)
+        if current.level < level + 1:
+            raise TreeInvariantError(
+                f"placement walk for level-{level} key {key!r} fell below "
+                f"its level"
+            )

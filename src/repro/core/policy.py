@@ -1,0 +1,127 @@
+"""Node capacity policies: uniform vs level-scaled index pages (paper §7).
+
+The paper analyses two configurations:
+
+- **uniform** (§7.1/§7.2): every index page holds at most ``F`` entries,
+  guards included.  Promoted subtrees then eat into the fan-out, and the
+  worst-case data capacity of a height-``h`` tree drops by a factor of
+  ``h!`` (equation 5).
+- **scaled** (§7.3): an index page at index level ``x`` is ``x`` times
+  larger — room for ``F`` unpromoted entries plus ``F·(x-1)`` guards — and
+  the worst-case capacity returns to the best-case ``F^h`` (equation 12)
+  at a negligible cost in total index size (equation 18).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeInvariantError
+from repro.core.node import IndexNode
+
+UNIFORM = "uniform"
+SCALED = "scaled"
+
+
+class CapacityPolicy:
+    """Capacity rules for data pages and index nodes.
+
+    Parameters
+    ----------
+    data_capacity:
+        ``P``, the maximum number of points in a data page.
+    fanout:
+        ``F``, the maximum number of unpromoted entries in an index node.
+    kind:
+        ``"uniform"`` or ``"scaled"`` (see module docstring).
+    page_bytes:
+        ``B``, the byte size of a data page and of a level-1 index page;
+        used only for storage accounting (§7.3 sizes are ``B·x``).
+    """
+
+    __slots__ = ("data_capacity", "fanout", "kind", "page_bytes")
+
+    def __init__(
+        self,
+        data_capacity: int = 16,
+        fanout: int = 16,
+        kind: str = SCALED,
+        page_bytes: int = 1024,
+    ):
+        if data_capacity < 2:
+            raise TreeInvariantError(
+                f"data pages must hold at least 2 points, got {data_capacity}"
+            )
+        if fanout < 4:
+            raise TreeInvariantError(
+                f"the fan-out ratio must be at least 4, got {fanout}"
+            )
+        if kind not in (UNIFORM, SCALED):
+            raise TreeInvariantError(f"unknown capacity policy {kind!r}")
+        if page_bytes <= 0:
+            raise TreeInvariantError(f"page size must be positive, got {page_bytes}")
+        self.data_capacity = data_capacity
+        self.fanout = fanout
+        self.kind = kind
+        self.page_bytes = page_bytes
+
+    # ------------------------------------------------------------------
+    # Overflow / underflow predicates
+    # ------------------------------------------------------------------
+
+    def data_overflows(self, n_records: int) -> bool:
+        """True if a data page with this many records must split."""
+        return n_records > self.data_capacity
+
+    def data_underflows(self, n_records: int) -> bool:
+        """True if a data page has dropped below minimum occupancy."""
+        return n_records < self.min_data_occupancy()
+
+    def min_data_occupancy(self) -> int:
+        """The guaranteed minimum number of records in a non-root data page.
+
+        A page splits at ``P + 1`` records and the balanced binary split
+        leaves each side strictly above a third (module
+        :mod:`repro.core.split`); the floor below is the conservative
+        integer form of that bound.
+        """
+        return max(1, -(-(self.data_capacity + 1) // 3) - 1)
+
+    def index_overflows(self, node: IndexNode) -> bool:
+        """True if an index node must split under this policy."""
+        if self.kind == SCALED:
+            return node.native_count() > self.fanout
+        return len(node) > self.fanout
+
+    def index_underflows(self, node: IndexNode) -> bool:
+        """True if an index node has dropped below minimum occupancy."""
+        if self.kind == SCALED:
+            return node.native_count() < self.min_index_occupancy()
+        return len(node) < self.min_index_occupancy()
+
+    def min_index_occupancy(self) -> int:
+        """Guaranteed minimum entry count in a non-root index node.
+
+        The topological limit is one third (paper §6); the additional
+        slack covers the entries lost to promotion at a split boundary
+        (the guard of the split region moves to the parent, so the
+        populations left behind can sit one or two entries below the
+        exact third).
+        """
+        return max(1, -(-(self.fanout + 1) // 3) - 2)
+
+    def index_node_bytes(self, index_level: int) -> int:
+        """Byte size of an index page at the given index level (§7.3)."""
+        if self.kind == SCALED:
+            return self.page_bytes * index_level
+        return self.page_bytes
+
+    def size_class(self, index_level: int) -> int:
+        """Storage size class for an index node (0 is the data-page class)."""
+        if self.kind == SCALED:
+            return index_level
+        return 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityPolicy(P={self.data_capacity}, F={self.fanout}, "
+            f"kind={self.kind!r})"
+        )

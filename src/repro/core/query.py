@@ -1,0 +1,99 @@
+"""Range and partial-match queries.
+
+A range query visits every entry whose *block* intersects the query box.
+Because each data page is reachable through exactly one entry, no page is
+visited twice and no guard-set logic is needed; holey-region semantics only
+means a visited block may contain points owned by deeper regions, which the
+per-record filter handles.  The visit count is the range-query cost metric
+used in the [KSS+90]-style comparison against Z-order linearisation: the
+BV-tree's region set contracts to the occupied part of the space, which is
+exactly what that study found linear orderings cannot do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import GeometryError
+from repro.core.node import DataPage, IndexNode
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tree import BVTree
+
+
+@dataclass
+class QueryResult:
+    """Records found by a query plus its page-access cost."""
+
+    records: list[tuple[tuple[float, ...], Any]] = field(default_factory=list)
+    pages_visited: int = 0
+    data_pages_visited: int = 0
+
+    def points(self) -> list[tuple[float, ...]]:
+        """Just the matching points."""
+        return [point for point, _ in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
+    """All records inside the half-open box ``rect``."""
+    if rect.ndim != tree.space.ndim:
+        raise GeometryError(
+            f"query box is {rect.ndim}-d, space is {tree.space.ndim}-d"
+        )
+    result = QueryResult()
+    space = tree.space
+    stack = [tree.root_entry()]
+    while stack:
+        entry = stack.pop()
+        if not space.key_rect(entry.key).intersects(rect):
+            continue
+        result.pages_visited += 1
+        if entry.level == 0:
+            result.data_pages_visited += 1
+            page: DataPage = tree.store.read(entry.page)
+            for point, value in page.records.values():
+                if rect.contains_point(point):
+                    result.records.append((point, value))
+        else:
+            node: IndexNode = tree.store.read(entry.page)
+            stack.extend(node.entries)
+    return result
+
+
+def partial_match(tree: "BVTree", constraints: dict[int, float]) -> QueryResult:
+    """Records with exact values on a subset of dimensions (paper §1).
+
+    The match granularity is one grid cell of the space's resolution:
+    records whose constrained coordinates fall in the same cell as the
+    given values match.  Unconstrained dimensions span their full domain.
+    """
+    space = tree.space
+    if not constraints:
+        return range_query(tree, space.whole_rect())
+    cells = 1 << space.resolution
+    lows: list[float] = []
+    highs: list[float] = []
+    for dim, (lo, hi) in enumerate(space.bounds):
+        if dim in constraints:
+            value = constraints[dim]
+            if not lo <= value <= hi:
+                raise GeometryError(
+                    f"constraint {value} on dimension {dim} outside "
+                    f"[{lo}, {hi}]"
+                )
+            span = hi - lo
+            g = min(int((value - lo) / span * cells), cells - 1)
+            lows.append(lo + g / cells * span)
+            highs.append(lo + (g + 1) / cells * span)
+        else:
+            lows.append(lo)
+            highs.append(hi)
+    unknown = set(constraints) - set(range(space.ndim))
+    if unknown:
+        raise GeometryError(f"constraints on unknown dimensions {sorted(unknown)}")
+    return range_query(tree, Rect(lows, highs))

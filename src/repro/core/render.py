@@ -1,0 +1,105 @@
+"""Human-readable renderings of a BV-tree.
+
+Two views, both plain text:
+
+- :func:`render_tree` — the index structure: one line per entry,
+  indentation following the index tree, guards marked with ``*`` and
+  every entry showing its partition level and region key (the notation
+  of the paper's Figures 2-1a…2-1d).
+- :func:`render_partition` — for 2-d spaces, a character raster of the
+  level-0 partition: each cell shows which data page owns it, so
+  enclosure (holey regions) is directly visible.
+
+Used by ``python -m repro demo --show-tree`` and handy when debugging.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import TYPE_CHECKING
+
+from repro.errors import GeometryError
+from repro.core.descent import locate
+from repro.core.node import DataPage, IndexNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tree import BVTree
+
+
+def render_tree(tree: "BVTree", max_depth: int | None = None) -> str:
+    """The index structure as an indented outline.
+
+    ``*`` marks guards (entries stored above their native level); data
+    pages show their record counts.
+    """
+    lines: list[str] = []
+
+    def visit(entry, depth: int) -> None:
+        key = entry.key.bit_string() or "ε"
+        content = tree.store.read(entry.page)
+        indent = "  " * depth
+        if isinstance(content, DataPage):
+            lines.append(
+                f"{indent}L0 '{key}' — data page {entry.page}, "
+                f"{len(content)} record(s)"
+            )
+            return
+        assert isinstance(content, IndexNode)
+        lines.append(
+            f"{indent}L{entry.level} '{key}' — index node {entry.page} "
+            f"(level {content.index_level}: {content.native_count()} native, "
+            f"{content.guard_count()} guard)"
+        )
+        if max_depth is not None and depth >= max_depth:
+            lines.append(f"{indent}  …")
+            return
+        ordered = sorted(
+            content.entries, key=lambda e: (-e.level, e.key.bit_string())
+        )
+        for child in ordered:
+            if child.level < content.index_level - 1:
+                marker = "  " * (depth + 1) + "* guard:"
+                lines.append(marker)
+            visit(child, depth + 1)
+
+    visit(tree.root_entry(), 0)
+    return "\n".join(lines)
+
+
+def render_partition(
+    tree: "BVTree", width: int = 64, height: int = 24
+) -> str:
+    """A raster of the 2-d level-0 partition (one glyph per data page).
+
+    Each raster cell is resolved through the real exact-match descent, so
+    what you see is the partition the search actually uses — including
+    the space owned by promoted (guard) pages.
+    """
+    if tree.space.ndim != 2:
+        raise GeometryError(
+            f"partition rendering needs a 2-d space, got {tree.space.ndim}-d"
+        )
+    glyphs = string.ascii_lowercase + string.ascii_uppercase + string.digits
+    page_glyph: dict[int, str] = {}
+
+    def glyph_for(page: int) -> str:
+        if page not in page_glyph:
+            page_glyph[page] = glyphs[len(page_glyph) % len(glyphs)]
+        return page_glyph[page]
+
+    (x_lo, x_hi), (y_lo, y_hi) = tree.space.bounds
+    rows: list[str] = []
+    for row in range(height):
+        cells = []
+        for col in range(width):
+            x = x_lo + (col + 0.5) / width * (x_hi - x_lo)
+            y = y_lo + (height - row - 0.5) / height * (y_hi - y_lo)
+            found = locate(tree, tree.space.point_path((x, y)))
+            cells.append(glyph_for(found.entry.page))
+        rows.append("".join(cells))
+    legend = ", ".join(
+        f"{glyph}=page {page}" for page, glyph in list(page_glyph.items())[:12]
+    )
+    if len(page_glyph) > 12:
+        legend += f", … ({len(page_glyph)} pages total)"
+    return "\n".join(rows) + "\n" + legend

@@ -1,0 +1,320 @@
+"""The public BV-tree facade.
+
+Example
+-------
+>>> from repro.geometry import DataSpace
+>>> from repro.core import BVTree
+>>> space = DataSpace.unit(2)
+>>> tree = BVTree(space, data_capacity=4, fanout=8)
+>>> tree.insert((0.1, 0.2), "a")
+>>> tree.insert((0.8, 0.9), "b")
+>>> tree.get((0.1, 0.2))
+'a'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import KeyNotFoundError, TreeInvariantError
+from repro.core import insert as _insert
+from repro.core import delete as _delete
+from repro.core import query as _query
+from repro.core.descent import Locate, locate
+from repro.core.entry import Entry
+from repro.core.node import DataPage, IndexNode
+from repro.core.policy import CapacityPolicy
+from repro.core.stats import OpCounters, TreeStats, collect
+from repro.geometry.rect import Rect
+from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+
+
+class BVTree:
+    """An n-dimensional index with B-tree characteristics (Freeston 1995).
+
+    Parameters
+    ----------
+    space:
+        The data space the indexed points live in.
+    data_capacity:
+        ``P`` — maximum records per data page.
+    fanout:
+        ``F`` — maximum unpromoted entries per index node.
+    policy:
+        ``"scaled"`` (default) gives index level ``x`` pages of ``x`` times
+        the base size, which restores best-case capacity in the worst case
+        (paper §7.3); ``"uniform"`` keeps one page size and accepts the
+        §7.2 worst-case height growth.
+    page_bytes:
+        ``B`` — byte size of data pages and level-1 index pages (accounting
+        only; pages store live objects).
+    store:
+        Optionally share a :class:`~repro.storage.PageStore` (e.g. to put a
+        buffer pool underneath or to co-locate several structures).
+    """
+
+    def __init__(
+        self,
+        space: DataSpace,
+        data_capacity: int = 16,
+        fanout: int = 16,
+        policy: str = "scaled",
+        page_bytes: int = 1024,
+        store: PageStore | None = None,
+    ):
+        self.space = space
+        self.policy = CapacityPolicy(
+            data_capacity=data_capacity,
+            fanout=fanout,
+            kind=policy,
+            page_bytes=page_bytes,
+        )
+        self.store = store if store is not None else PageStore(page_bytes)
+        self.store.register_size_class(0, page_bytes)
+        self.stats = OpCounters()
+        self.count = 0
+        self.height = 0
+        self.root_page = self.store.allocate(DataPage(), size_class=0)
+        #: Per-level registry of live region keys — the canonical key sets
+        #: that define region extents (BANG semantics: a region is its
+        #: block minus the blocks of same-level keys nested inside it).
+        #: Placement and merge decisions consult it for *global* shadow
+        #: checks; it is an in-memory acceleration structure, not part of
+        #: the paged representation.
+        self.keys: dict[int, dict[RegionKey, Entry]] = {}
+        #: Regions whose merge was deferred; retried on later deletions
+        #: (see :mod:`repro.core.delete`).
+        self.merge_retry: set[tuple[int, RegionKey]] = set()
+
+    # ------------------------------------------------------------------
+    # Structure plumbing
+    # ------------------------------------------------------------------
+
+    def root_entry(self) -> Entry:
+        """The virtual entry for the root (the whole data space)."""
+        return Entry(ROOT_KEY, self.height, self.root_page)
+
+    def register_entry(self, entry: Entry) -> None:
+        """Record a region key in the per-level registry (must be new)."""
+        level_keys = self.keys.setdefault(entry.level, {})
+        if entry.key in level_keys:
+            raise TreeInvariantError(
+                f"level-{entry.level} key {entry.key!r} registered twice"
+            )
+        level_keys[entry.key] = entry
+
+    def unregister_entry(self, entry: Entry) -> None:
+        """Remove a region key from the registry (must be present)."""
+        level_keys = self.keys.get(entry.level)
+        if level_keys is None or level_keys.get(entry.key) is not entry:
+            raise TreeInvariantError(
+                f"level-{entry.level} key {entry.key!r} not registered"
+            )
+        del level_keys[entry.key]
+
+    def registered(self, level: int, key: RegionKey) -> Entry | None:
+        """The live entry with exactly this level and key, if any."""
+        return self.keys.get(level, {}).get(key)
+
+    def alloc_index_node(self, node: IndexNode) -> int:
+        """Allocate a page for an index node in its policy size class."""
+        size_class = self.policy.size_class(node.index_level)
+        self.store.register_size_class(
+            size_class, self.policy.index_node_bytes(node.index_level)
+        )
+        return self.store.allocate(node, size_class=size_class)
+
+    def alloc_data_page(self, page: DataPage) -> int:
+        """Allocate a page for a data page (size class 0)."""
+        return self.store.allocate(page, size_class=0)
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: Sequence[float], value: Any = None, replace: bool = False
+    ) -> None:
+        """Insert a record; raises DuplicateKeyError unless ``replace``.
+
+        Two points identical in the leading ``space.resolution`` bits of
+        every coordinate are the same key to the index.
+        """
+        _insert.insert_point(self, point, value, replace=replace)
+
+    def get(self, point: Sequence[float]) -> Any:
+        """The value stored at ``point`` (KeyNotFoundError if absent)."""
+        path = self.space.point_path(point)
+        found = locate(self, path)
+        page: DataPage = self.store.read(found.entry.page)
+        record = page.get(path)
+        if record is None:
+            raise KeyNotFoundError(f"no record at {tuple(point)}")
+        return record[1]
+
+    def get_fast(self, point: Sequence[float]) -> Any:
+        """Exact-match lookup through the key registry (O(path bits)).
+
+        Canonical placement means the data page owning a point is the one
+        whose key is the longest registered level-0 prefix of the point's
+        path — no tree descent needed.  Returns the same answers as
+        :meth:`get` (the property tests assert the equivalence, which
+        doubles as a canonical-placement audit); unlike :meth:`get`, the
+        cost does not model paged I/O, so benchmarks use :meth:`get`.
+        """
+        path = self.space.point_path(point)
+        registry = self.keys.get(0, {})
+        for length in range(self.space.path_bits, -1, -1):
+            key = RegionKey(length, path >> (self.space.path_bits - length))
+            entry = registry.get(key)
+            if entry is not None:
+                page: DataPage = self.store.read(entry.page)
+                record = page.get(path)
+                if record is None:
+                    raise KeyNotFoundError(f"no record at {tuple(point)}")
+                return record[1]
+        # No level-0 key registered: the root is still a bare data page.
+        page = self.store.read(self.root_page)
+        record = page.get(path)
+        if record is None:
+            raise KeyNotFoundError(f"no record at {tuple(point)}")
+        return record[1]
+
+    def update_many(
+        self,
+        records: Iterator[tuple[Sequence[float], Any]] | Sequence[tuple[Sequence[float], Any]],
+        replace: bool = True,
+    ) -> int:
+        """Insert many (point, value) records; returns how many were new."""
+        before = self.count
+        for point, value in records:
+            self.insert(point, value, replace=replace)
+        return self.count - before
+
+    def clear(self) -> None:
+        """Remove every record and page, resetting to an empty tree."""
+        stack = [self.root_entry()]
+        pages = []
+        while stack:
+            entry = stack.pop()
+            content = self.store.read(entry.page)
+            pages.append(entry.page)
+            if isinstance(content, IndexNode):
+                stack.extend(content.entries)
+        for page in pages:
+            self.store.free(page)
+        self.keys.clear()
+        self.merge_retry.clear()
+        self.count = 0
+        self.height = 0
+        self.root_page = self.store.allocate(DataPage(), size_class=0)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True if a record exists at ``point``."""
+        try:
+            self.get(point)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def search(self, point: Sequence[float]) -> Locate:
+        """Exact-match descent diagnostics (visited pages, guard set size).
+
+        Every descent visits exactly ``height + 1`` pages (paper §6); the
+        benchmarks assert this.
+        """
+        return locate(self, self.space.point_path(point))
+
+    def delete(self, point: Sequence[float]) -> Any:
+        """Remove and return the record at ``point`` (KeyNotFoundError if absent)."""
+        return _delete.delete_point(self, point)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> "_query.QueryResult":
+        """All records in the half-open box ``[lows, highs)``."""
+        return _query.range_query(self, Rect(lows, highs))
+
+    def partial_match(
+        self, constraints: dict[int, float]
+    ) -> "_query.QueryResult":
+        """Records matching exact values on a subset of dimensions.
+
+        ``constraints`` maps dimension index to the required value; the
+        match granularity is one grid cell of the space's resolution.  The
+        BV-tree treats every combination of constrained dimensions
+        symmetrically — the defining property asked of an n-dimensional
+        B-tree (paper §1).
+        """
+        return _query.partial_match(self, constraints)
+
+    def nearest(self, point: Sequence[float], k: int = 1):
+        """The ``k`` records nearest to ``point`` (Euclidean distance).
+
+        Returns a :class:`~repro.core.knn.KNNResult` with the neighbours
+        ordered nearest-first and the traversal's page-access count.
+        """
+        from repro.core.knn import nearest_neighbours
+
+        return nearest_neighbours(self, point, k=k)
+
+    def items(self) -> Iterator[tuple[tuple[float, ...], Any]]:
+        """Iterate all (point, value) records (unspecified order)."""
+        stack = [self.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.level == 0:
+                page: DataPage = self.store.read(entry.page)
+                yield from page.records.values()
+            else:
+                node: IndexNode = self.store.read(entry.page)
+                stack.extend(node.entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def tree_stats(self) -> TreeStats:
+        """Structural statistics (heights, occupancies, guard counts)."""
+        return collect(self)
+
+    def check(
+        self,
+        sample_points: int = 0,
+        check_occupancy: bool = True,
+        check_owners: bool = False,
+        check_justification: bool | None = None,
+    ) -> None:
+        """Verify all structural invariants; raises TreeInvariantError.
+
+        With ``sample_points > 0``, additionally re-locates that many
+        stored records through the public search path; ``check_owners``
+        verifies the single-descent owner-lookup property for every entry.
+        """
+        from repro.core.checker import check_tree
+
+        check_tree(
+            self,
+            sample_points=sample_points,
+            check_occupancy=check_occupancy,
+            check_owners=check_owners,
+            check_justification=check_justification,
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return self.contains(point)
+
+    def __repr__(self) -> str:
+        return (
+            f"BVTree({self.count} points, height={self.height}, "
+            f"{self.policy!r})"
+        )

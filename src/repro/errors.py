@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (dimension mismatch, out-of-space point...)."""
+
+
+class DimensionMismatchError(GeometryError):
+    """An operation mixed objects of different dimensionality."""
+
+
+class OutOfSpaceError(GeometryError):
+    """A point lies outside the data space it is being indexed in."""
+
+
+class ResolutionExhaustedError(ReproError):
+    """A region could not be split within the bit resolution of the space.
+
+    This occurs when too many points share the same bit path, e.g. more
+    than a page's worth of exact duplicates at full resolution.
+    """
+
+
+class StorageError(ReproError):
+    """Base class for paged-storage failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was read or freed that is not currently allocated."""
+
+
+class PageOverflowError(StorageError):
+    """More payload was written to a page than its byte capacity allows."""
+
+
+class TreeInvariantError(ReproError):
+    """An internal structural invariant of an index was violated.
+
+    Raised by the invariant checkers; seeing this in production code is a
+    bug in the library, never a user error.
+    """
+
+
+class KeyNotFoundError(ReproError):
+    """An exact-match lookup or deletion did not find the requested key."""
+
+
+class DuplicateKeyError(ReproError):
+    """An insertion would create a duplicate where duplicates are forbidden."""

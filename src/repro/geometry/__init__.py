@@ -1,0 +1,22 @@
+"""n-dimensional binary-partition geometry.
+
+This subpackage provides the geometric substrate the BV-tree (and the BANG
+file it generalises) is built on:
+
+- :class:`~repro.geometry.space.DataSpace` — a bounded n-dimensional data
+  space with a fixed bit resolution per dimension, mapping real-valued
+  points onto an integer grid and onto interleaved *bit paths*.
+- :class:`~repro.geometry.region.RegionKey` — a region of the recursive
+  binary partition of the space, represented as the bit string of halving
+  choices.  Two region blocks are always either nested or disjoint, which
+  is exactly the "partition boundaries may not intersect" property the
+  paper requires.
+- :class:`~repro.geometry.rect.Rect` — axis-aligned boxes, used for range
+  queries and for decoding region blocks back into coordinate space.
+"""
+
+from repro.geometry.rect import Rect
+from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.geometry.space import DataSpace
+
+__all__ = ["DataSpace", "Rect", "RegionKey", "ROOT_KEY"]

@@ -1,0 +1,119 @@
+"""Axis-aligned rectangles (boxes) in n dimensions.
+
+Rectangles use *half-open* interval semantics ``[lo, hi)`` in every
+dimension, matching the grid semantics of the binary partition: the two
+halves of a split share no point, and a recursive partition tiles the space
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import DimensionMismatchError, GeometryError
+
+
+class Rect:
+    """An axis-aligned box ``[lows[i], highs[i])`` in each dimension ``i``.
+
+    Instances are immutable.  Degenerate (zero-width) dimensions are
+    rejected because a half-open empty interval cannot contain anything and
+    is always a caller bug in this library.
+    """
+
+    __slots__ = ("lows", "highs")
+
+    def __init__(self, lows: Sequence[float], highs: Sequence[float]):
+        if len(lows) != len(highs):
+            raise DimensionMismatchError(
+                f"lows has {len(lows)} dimensions but highs has {len(highs)}"
+            )
+        if not lows:
+            raise GeometryError("a rectangle needs at least one dimension")
+        for lo, hi in zip(lows, highs):
+            if not lo < hi:
+                raise GeometryError(f"empty interval [{lo}, {hi}) in rectangle")
+        object.__setattr__(self, "lows", tuple(float(v) for v in lows))
+        object.__setattr__(self, "highs", tuple(float(v) for v in highs))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rect is immutable")
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lows)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Return True if ``point`` lies inside (half-open semantics)."""
+        if len(point) != self.ndim:
+            raise DimensionMismatchError(
+                f"point has {len(point)} dimensions, rect has {self.ndim}"
+            )
+        return all(
+            lo <= x < hi for x, lo, hi in zip(point, self.lows, self.highs)
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True if ``other`` lies entirely inside this rectangle."""
+        self._check_dim(other)
+        return all(
+            slo <= olo and ohi <= shi
+            for slo, shi, olo, ohi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True if the two rectangles share at least one point."""
+        self._check_dim(other)
+        return all(
+            slo < ohi and olo < shi
+            for slo, shi, olo, ohi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlapping rectangle, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
+        highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
+        return Rect(lows, highs)
+
+    def volume(self) -> float:
+        """Product of the side lengths."""
+        result = 1.0
+        for lo, hi in zip(self.lows, self.highs):
+            result *= hi - lo
+        return result
+
+    def sides(self) -> Iterator[float]:
+        """Yield the side length in each dimension."""
+        for lo, hi in zip(self.lows, self.highs):
+            yield hi - lo
+
+    def center(self) -> tuple[float, ...]:
+        """Midpoint of the box."""
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lows, self.highs))
+
+    def _check_dim(self, other: "Rect") -> None:
+        if other.ndim != self.ndim:
+            raise DimensionMismatchError(
+                f"mixed {self.ndim}-d and {other.ndim}-d rectangles"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self.lows == other.lows and self.highs == other.highs
+
+    def __hash__(self) -> int:
+        return hash((self.lows, self.highs))
+
+    def __repr__(self) -> str:
+        intervals = ", ".join(
+            f"[{lo:g}, {hi:g})" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"Rect({intervals})"

@@ -1,0 +1,182 @@
+"""The bounded n-dimensional data space and its grid/bit-path encoding.
+
+The paper treats records as points in the Cartesian product of the index
+attribute domains.  :class:`DataSpace` pins that down concretely: each
+dimension is a real interval, discretised to ``resolution`` bits, and every
+point maps to an *interleaved bit path* — the infinite halving sequence of
+the binary partition, truncated at the grid resolution.
+
+Bit ``t`` of a path (counting from the first halving) refines dimension
+``t % ndim``, so the partition cycles through the dimensions; this is the
+symmetric treatment of dimensions the n-dimensional B-tree problem demands.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import (
+    DimensionMismatchError,
+    GeometryError,
+    OutOfSpaceError,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.region import RegionKey
+
+
+class DataSpace:
+    """A bounded data space with a fixed per-dimension bit resolution.
+
+    Parameters
+    ----------
+    bounds:
+        One ``(low, high)`` pair per dimension, ``low < high``.  Points are
+        indexed in the half-open box ``[low, high)`` per dimension; as a
+        pragmatic concession to floating-point workloads, a coordinate
+        exactly equal to ``high`` is accepted and mapped to the last grid
+        cell.
+    resolution:
+        Bits per dimension (default 32).  Two points whose coordinates agree
+        in all leading ``resolution`` bits are indistinguishable to the
+        partition and are treated as duplicates by the index structures.
+    """
+
+    __slots__ = ("bounds", "resolution", "ndim", "path_bits", "_spans")
+
+    def __init__(
+        self,
+        bounds: Sequence[tuple[float, float]],
+        resolution: int = 32,
+    ):
+        if not bounds:
+            raise GeometryError("a data space needs at least one dimension")
+        if not 1 <= resolution <= 64:
+            raise GeometryError(
+                f"resolution must be between 1 and 64 bits, got {resolution}"
+            )
+        checked = []
+        for i, (lo, hi) in enumerate(bounds):
+            lo, hi = float(lo), float(hi)
+            if not lo < hi:
+                raise GeometryError(
+                    f"dimension {i} has empty domain [{lo}, {hi})"
+                )
+            checked.append((lo, hi))
+        object.__setattr__(self, "bounds", tuple(checked))
+        object.__setattr__(self, "resolution", resolution)
+        object.__setattr__(self, "ndim", len(checked))
+        object.__setattr__(self, "path_bits", len(checked) * resolution)
+        object.__setattr__(
+            self, "_spans", tuple(hi - lo for lo, hi in checked)
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DataSpace is immutable")
+
+    @classmethod
+    def unit(cls, ndim: int, resolution: int = 32) -> "DataSpace":
+        """The unit cube ``[0, 1)^ndim``."""
+        return cls([(0.0, 1.0)] * ndim, resolution=resolution)
+
+    # ------------------------------------------------------------------
+    # Point encoding
+    # ------------------------------------------------------------------
+
+    def grid(self, point: Sequence[float]) -> tuple[int, ...]:
+        """Map a point to integer grid coordinates in ``[0, 2**resolution)``."""
+        if len(point) != self.ndim:
+            raise DimensionMismatchError(
+                f"point has {len(point)} dimensions, space has {self.ndim}"
+            )
+        cells = 1 << self.resolution
+        out = []
+        for i, (x, (lo, hi), span) in enumerate(
+            zip(point, self.bounds, self._spans)
+        ):
+            if not lo <= x <= hi:
+                raise OutOfSpaceError(
+                    f"coordinate {x} of dimension {i} outside [{lo}, {hi}]"
+                )
+            g = int((x - lo) / span * cells)
+            if g >= cells:  # x == hi, or float rounding at the top edge
+                g = cells - 1
+            out.append(g)
+        return tuple(out)
+
+    def point_path(self, point: Sequence[float]) -> int:
+        """The interleaved bit path of a point, as a ``path_bits``-bit int.
+
+        Bit ``t`` (MSB-first) is bit ``resolution - 1 - t // ndim`` of the
+        grid coordinate of dimension ``t % ndim``.
+        """
+        return self.grid_path(self.grid(point))
+
+    def grid_path(self, grid: Sequence[int]) -> int:
+        """Interleave pre-computed grid coordinates into a bit path."""
+        if len(grid) != self.ndim:
+            raise DimensionMismatchError(
+                f"grid point has {len(grid)} dimensions, space has {self.ndim}"
+            )
+        path = 0
+        res = self.resolution
+        for level in range(res - 1, -1, -1):
+            for g in grid:
+                path = (path << 1) | ((g >> level) & 1)
+        return path
+
+    def point_key(self, point: Sequence[float], depth: int) -> RegionKey:
+        """The depth-``depth`` partition block containing ``point``."""
+        if not 0 <= depth <= self.path_bits:
+            raise GeometryError(
+                f"depth {depth} out of range [0, {self.path_bits}]"
+            )
+        path = self.point_path(point)
+        return RegionKey(depth, path >> (self.path_bits - depth))
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def key_rect(self, key: RegionKey) -> Rect:
+        """Decode a region key into its block's coordinate rectangle."""
+        if key.nbits > self.path_bits:
+            raise GeometryError(
+                f"key of {key.nbits} bits exceeds space depth {self.path_bits}"
+            )
+        cells = 1 << self.resolution
+        origins = [0] * self.ndim
+        halvings = [0] * self.ndim
+        for t, bit in enumerate(key.bits()):
+            dim = t % self.ndim
+            halvings[dim] += 1
+            if bit:
+                origins[dim] += cells >> halvings[dim]
+        lows = []
+        highs = []
+        for dim in range(self.ndim):
+            lo, _ = self.bounds[dim]
+            span = self._spans[dim]
+            width = cells >> halvings[dim]
+            lows.append(lo + origins[dim] / cells * span)
+            highs.append(lo + (origins[dim] + width) / cells * span)
+        return Rect(lows, highs)
+
+    def whole_rect(self) -> Rect:
+        """The rectangle covering the entire space."""
+        return Rect(
+            [lo for lo, _ in self.bounds], [hi for _, hi in self.bounds]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataSpace):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds and self.resolution == other.resolution
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.bounds, self.resolution))
+
+    def __repr__(self) -> str:
+        dims = " x ".join(f"[{lo:g},{hi:g})" for lo, hi in self.bounds)
+        return f"DataSpace({dims}, resolution={self.resolution})"

@@ -1,0 +1,26 @@
+"""Paged-storage simulator.
+
+The paper's guarantees are stated in terms of *pages*: data pages holding at
+most ``P`` points, index pages holding at most ``F`` entries (possibly
+scaled with the index level, §7.3), and the number of pages touched by an
+operation.  This subpackage provides a small storage engine that makes
+those quantities observable:
+
+- :class:`~repro.storage.pager.PageStore` — allocation, read, write and
+  free of pages, with exact I/O counters and per-size-class accounting.
+- :class:`~repro.storage.buffer.BufferPool` — an LRU read-through cache on
+  top of a store, distinguishing logical from physical reads.
+- :class:`~repro.storage.stats.IOStats` — the counter bundle.
+
+Pages store live Python objects rather than serialised bytes: every claim
+reproduced from the paper is about page *counts*, heights and occupancies,
+which are identical either way, while byte-level serialisation would only
+slow the simulator down.  Byte sizes enter through the declared size class
+of a page (see §7.3 multiple page sizes) used by the analysis module.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PageStore
+from repro.storage.stats import IOStats
+
+__all__ = ["BufferPool", "IOStats", "PageStore"]

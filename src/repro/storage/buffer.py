@@ -1,0 +1,119 @@
+"""An LRU buffer pool layered over a :class:`PageStore`."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.pager import PageStore
+from repro.storage.stats import BufferStats
+
+
+class BufferPool:
+    """Read-through, write-through LRU cache of pages.
+
+    The pool distinguishes *logical* reads (every :meth:`read` call) from
+    *physical* reads (cache misses that hit the underlying store).  All
+    writes go straight to the store so the store content is always
+    authoritative; the cached copy is refreshed at the same time.
+
+    The pool exposes the full :class:`PageStore` surface (allocation,
+    freeing, size classes, accounting), so it can be passed anywhere a
+    store is expected — e.g. ``BVTree(space, store=BufferPool(PageStore()))``
+    to measure an index's cache behaviour.
+    """
+
+    def __init__(self, store: PageStore, capacity: int = 64):
+        if capacity <= 0:
+            raise StorageError(f"buffer capacity must be positive, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._cache: OrderedDict[int, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # PageStore surface (decorator passthrough)
+    # ------------------------------------------------------------------
+
+    @property
+    def page_bytes(self) -> int:
+        """Base page size of the underlying store."""
+        return self.store.page_bytes
+
+    def allocate(self, content: Any = None, size_class: int = 0) -> int:
+        """Allocate in the store; the fresh page starts out cached."""
+        page_id = self.store.allocate(content, size_class=size_class)
+        self._install(page_id, content)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Free in the store and drop any cached copy."""
+        self.store.free(page_id)
+        self._cache.pop(page_id, None)
+
+    def register_size_class(self, size_class: int, page_bytes: int) -> None:
+        """Pass through to the store."""
+        self.store.register_size_class(size_class, page_bytes)
+
+    def size_class_of(self, page_id: int) -> int:
+        """Pass through to the store."""
+        return self.store.size_class_of(page_id)
+
+    def page_ids(self):
+        """Pass through to the store."""
+        return self.store.page_ids()
+
+    def live_pages(self, size_class: int | None = None) -> int:
+        """Pass through to the store."""
+        return self.store.live_pages(size_class)
+
+    def live_bytes(self) -> int:
+        """Pass through to the store."""
+        return self.store.live_bytes()
+
+    def class_stats(self):
+        """Pass through to the store."""
+        return self.store.class_stats()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self.store
+
+    def read(self, page_id: int) -> Any:
+        """Read a page, from cache if resident."""
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            self.stats.hits += 1
+            return self._cache[page_id]
+        content = self.store.read(page_id)
+        self.stats.misses += 1
+        self._install(page_id, content)
+        return content
+
+    def write(self, page_id: int, content: Any) -> None:
+        """Write a page through to the store and refresh the cache."""
+        self.store.write(page_id, content)
+        self._install(page_id, content)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the cache (e.g. after it is freed)."""
+        if self._cache.pop(page_id, None) is not None or page_id not in self.store:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Empty the cache without touching the store."""
+        self._cache.clear()
+
+    def resident(self, page_id: int) -> bool:
+        """True if the page is currently cached."""
+        return page_id in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _install(self, page_id: int, content: Any) -> None:
+        self._cache[page_id] = content
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1

@@ -1,0 +1,88 @@
+"""I/O counter bundles for the storage simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters of page-level operations.
+
+    ``reads``/``writes`` count every access through a :class:`PageStore`;
+    when a :class:`~repro.storage.buffer.BufferPool` is interposed, its own
+    hit/miss counters distinguish logical from physical reads.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counter values."""
+        return IOStats(self.reads, self.writes, self.allocations, self.frees)
+
+    def delta(self, since: "IOStats") -> "IOStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return IOStats(
+            self.reads - since.reads,
+            self.writes - since.writes,
+            self.allocations - since.allocations,
+            self.frees - since.frees,
+        )
+
+    @property
+    def total(self) -> int:
+        """All page operations combined."""
+        return self.reads + self.writes + self.allocations + self.frees
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters for a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def logical_reads(self) -> int:
+        """Reads served from cache plus reads that went to the store."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served from the cache (0 if none)."""
+        logical = self.logical_reads
+        return self.hits / logical if logical else 0.0
+
+
+@dataclass
+class SizeClassStats:
+    """Live-page accounting for one page size class."""
+
+    page_bytes: int
+    live_pages: int = 0
+    peak_pages: int = 0
+    total_allocated: int = 0
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently occupied by live pages of this class."""
+        return self.page_bytes * self.live_pages

@@ -1,0 +1,84 @@
+"""Adversarial insertion sequences.
+
+These target the specific failure modes the paper's introduction catalogs:
+cascade splitting in the K-D-B tree, directory occupancy collapse in
+first-partition splitters, and the worst-case guard accumulation of the
+BV-tree itself (one full promoted chain per unpromoted entry, §7.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+def nested_hotspot(
+    n: int,
+    ndim: int,
+    corner: tuple[float, ...] | None = None,
+    ratio: float = 0.7,
+    seed: int = 0,
+) -> Iterator[tuple[float, ...]]:
+    """Ever-deeper nesting toward one corner.
+
+    A fraction ``ratio`` of the mass always falls into the current
+    half-sized box around the corner, producing a long chain of nested
+    regions — each level of which encloses the next, the configuration of
+    the paper's Figure 1-3a that forces enclosure-capable representations.
+    """
+    if n < 0:
+        raise ReproError(f"cannot generate {n} points")
+    if not 0.0 < ratio < 1.0:
+        raise ReproError(f"ratio must be in (0, 1), got {ratio}")
+    rng = random.Random(seed)
+    target = corner if corner is not None else (0.0,) * ndim
+    if len(target) != ndim:
+        raise ReproError(f"corner has {len(target)} dims, expected {ndim}")
+    for _ in range(n):
+        scale = 1.0
+        while scale > 2.0 ** -24 and rng.random() < ratio:
+            scale /= 2.0
+        yield tuple(
+            min(c + rng.random() * scale, 0.999999999) for c in target
+        )
+
+
+def promotion_storm(
+    n: int, ndim: int, seed: int = 0
+) -> Iterator[tuple[float, ...]]:
+    """Alternating hotspots straddling every binary boundary.
+
+    Mass concentrates in thin shells just inside and outside successive
+    binary partition boundaries, so split keys keep landing next to
+    region boundaries and enclosing regions keep being promoted — the
+    guard-heavy worst case analysed in §7.2.
+    """
+    if n < 0:
+        raise ReproError(f"cannot generate {n} points")
+    rng = random.Random(seed)
+    for i in range(n):
+        depth = (i % 12) + 1
+        # A point just on either side of the depth-th halving boundary of
+        # dimension (depth % ndim).
+        point = [rng.random() for _ in range(ndim)]
+        dim = depth % ndim
+        boundary = 0.5 ** ((depth // ndim) + 1)
+        side = 1 if i % 2 else -1
+        offset = boundary + side * boundary * 0.01 * rng.random()
+        point[dim] = min(max(offset, 0.0), 0.999999999)
+        yield tuple(point)
+
+
+def sequential_1d(n: int, ndim: int = 1) -> Iterator[tuple[float, ...]]:
+    """Monotone insertion order — the classic B-tree stressor.
+
+    In one dimension the BV-tree must degenerate to B-tree behaviour
+    (paper §2), so this sequence doubles as the degeneration test.
+    """
+    if n < 0:
+        raise ReproError(f"cannot generate {n} points")
+    for i in range(n):
+        value = i / max(n, 1)
+        yield (value,) + (0.5,) * (ndim - 1)

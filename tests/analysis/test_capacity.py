@@ -1,0 +1,63 @@
+"""Tests for the §7.2/§7.3 file-size threshold claims."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import capacity as cap
+
+
+class TestConversions:
+    def test_file_bytes(self):
+        assert cap.file_bytes(100, 1024) == 102400
+
+    def test_data_nodes_for_file(self):
+        assert cap.data_nodes_for_file(1024 * 50, 1024) == 50
+        assert cap.data_nodes_for_file(100, 1024) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            cap.data_nodes_for_file(0)
+
+
+class TestPaperClaims:
+    def test_f24_100mb_claim(self):
+        # §7.3 summary: F=24, 1 KB pages — at most 2 extra levels up to
+        # data sets of order 100 MBytes.
+        assert cap.height_penalty_for_file(24, 100e6) <= 2
+
+    def test_f24_threshold_covers_claim(self):
+        threshold = cap.max_file_size_with_penalty(24, max_penalty=2)
+        assert threshold >= 100e6  # the claim is conservative
+
+    def test_f120_200gb_claim(self):
+        # §7.2: "up to 200 Gigabytes — the index only has to grow by a
+        # maximum of 1 level".
+        assert cap.height_penalty_for_file(120, 200e9) <= 1
+        assert cap.max_file_size_with_penalty(120, max_penalty=1) >= 200e9
+
+    def test_f120_25tb_claim(self):
+        # §7.3 summary: at most 2 extra levels up to ~25 TBytes.
+        assert cap.height_penalty_for_file(120, 25e12) <= 2
+        assert cap.max_file_size_with_penalty(120, max_penalty=2) >= 25e12
+
+    def test_f120_petabyte_claim(self):
+        # §7.2: a worst-case tree of height 8–9 with 1 KB pages holds a
+        # file of order 3 PBytes.
+        size_h8 = cap.worst_case_file_size_at_height(120, 8)
+        size_h9 = cap.worst_case_file_size_at_height(120, 9)
+        assert size_h8 <= 3e15 <= size_h9
+
+    def test_penalty_monotone_in_file_size(self):
+        penalties = [
+            cap.height_penalty_for_file(24, size)
+            for size in (1e6, 1e8, 1e10, 1e12)
+        ]
+        assert penalties == sorted(penalties)
+
+    def test_zero_penalty_region_exists(self):
+        threshold = cap.max_file_size_with_penalty(24, max_penalty=0)
+        assert threshold >= 24 * 1024  # a single level never penalises
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ReproError):
+            cap.max_file_size_with_penalty(24, max_penalty=-1)

@@ -1,0 +1,68 @@
+"""Tests for the Figure 7-1/7-2 data series."""
+
+import math
+
+import pytest
+
+from repro.analysis import figures
+
+
+class TestFigureSeries:
+    def test_rows_cover_heights_1_to_9(self):
+        rows = figures.figure_7_1()
+        assert [r.height for r in rows] == list(range(1, 10))
+
+    def test_best_case_is_identity_on_log_scale(self):
+        for row in figures.figure_7_1():
+            assert row.best_log_f == pytest.approx(row.height)
+
+    def test_gap_equals_log_f_h_factorial(self):
+        # The figures' shaded area approaches log_F(h!) (the F >> h
+        # limit of the binomial closed form).
+        for row in figures.figure_7_2():
+            expected = math.log(math.factorial(row.height)) / math.log(120)
+            assert row.gap_predicted == pytest.approx(expected)
+            assert row.gap == pytest.approx(expected, rel=0.15, abs=1e-9)
+
+    def test_gap_grows_with_height(self):
+        rows = figures.figure_7_1()
+        gaps = [r.gap for r in rows]
+        assert gaps == sorted(gaps)
+
+    def test_higher_fanout_narrows_the_gap(self):
+        # Figure 7-2 vs 7-1: "with a higher fan-out ratio this effect is
+        # less marked".
+        f24 = {r.height: r.gap for r in figures.figure_7_1()}
+        f120 = {r.height: r.gap for r in figures.figure_7_2()}
+        for h in range(2, 10):
+            assert f120[h] < f24[h]
+
+    def test_integer_constrained_gap_at_least_as_wide(self):
+        smooth = {r.height: r.worst_log_f for r in figures.figure_7_1()}
+        integer = {
+            r.height: r.worst_log_f
+            for r in figures.figure_7_1(integer_constrained=True)
+        }
+        for h in range(1, 10):
+            assert integer[h] <= smooth[h] + 1e-9
+
+
+class TestHeightGrowthTable:
+    def test_paper_readings_f24(self):
+        table = dict(figures.height_growth_table(24, range(1, 6)))
+        assert table[3] == 4
+        assert table[4] == 6
+        assert table[5] in (9, 10)
+
+    def test_paper_readings_f120(self):
+        table = dict(figures.height_growth_table(120, range(1, 7)))
+        assert table[4] == 5
+        assert table[6] in (8, 9)
+
+
+class TestRendering:
+    def test_render_contains_all_heights(self):
+        text = figures.render_figure(figures.figure_7_1(), 24)
+        for h in range(1, 10):
+            assert f"h={h}" in text
+        assert "F = 24" in text

@@ -1,0 +1,93 @@
+"""Tests for the §7.3 multiple-page-size analysis (equations 10–18)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import multipage as mp
+from repro.analysis import worstcase as wc
+
+
+class TestDataNodes:
+    def test_equation_12_closed_form(self):
+        assert mp.worst_case_data_nodes(24, 1) == 24
+        assert mp.worst_case_data_nodes(24, 2) == 24 * 25
+        assert mp.worst_case_data_nodes(24, 3) == 24 * 25**2
+
+    def test_recursion_matches_closed_form(self):
+        for fanout in (12, 24, 120):
+            for height in range(1, 9):
+                assert mp.worst_case_data_nodes_recursive(
+                    fanout, height
+                ) == mp.worst_case_data_nodes(fanout, height)
+
+    def test_restores_best_case_capacity(self):
+        # §7.3's headline: td(h) = F(F+1)^(h-1) ≈ F^h — the best case.
+        for fanout in (24, 120):
+            for height in range(1, 7):
+                scaled = mp.worst_case_data_nodes(fanout, height)
+                best = wc.best_case_data_nodes(fanout, height)
+                assert scaled >= best * 0.99  # within 1%; in fact >= best
+                assert scaled == pytest.approx(best, rel=0.3)
+
+    def test_beats_uniform_worst_case(self):
+        for height in range(2, 8):
+            assert mp.worst_case_data_nodes(24, height) > wc.worst_case_data_nodes(
+                24, height
+            )
+
+
+class TestIndexNodes:
+    def test_equation_14(self):
+        assert mp.worst_case_index_nodes(24, 1) == 1
+        assert mp.worst_case_index_nodes(24, 2) == 25
+        assert mp.worst_case_index_nodes(24, 3) == 25**2
+        assert mp.worst_case_index_nodes(24, 0) == 0
+
+    def test_equation_15_ratio_exact(self):
+        # "the same as in the best case ... independent of configuration"
+        for fanout in (24, 120):
+            for height in range(1, 7):
+                assert mp.worst_case_ratio(fanout, height) == pytest.approx(
+                    1 / fanout
+                )
+
+
+class TestIndexBytes:
+    def test_equation_17_recursion(self):
+        B, F = 1000, 24
+        assert mp.worst_case_index_bytes(F, 1, B) == B
+        assert mp.worst_case_index_bytes(F, 2, B) == B * (F + 1) + B
+
+    def test_equation_18_approximation(self):
+        # si(h) ≈ B F^(h-1) for F >> 1.
+        B = 1024
+        for fanout in (120, 400):
+            for height in range(2, 7):
+                exact = mp.worst_case_index_bytes(fanout, height, B)
+                approx = mp.worst_case_index_bytes_approx(fanout, height, B)
+                assert exact == pytest.approx(approx, rel=0.1)
+
+    def test_scaled_overhead_negligible(self):
+        # "the increased size of the upper level nodes has negligible
+        # effect on the overall index size."
+        for fanout in (24, 120):
+            overhead = mp.scaled_page_overhead(fanout, 6, 1024)
+            assert overhead < 2.5 / fanout
+
+    def test_rejects_bad_page_bytes(self):
+        with pytest.raises(ReproError):
+            mp.worst_case_index_bytes(24, 3, 0)
+
+
+class TestHeights:
+    def test_no_height_penalty_for_practical_sizes(self):
+        # With scaled pages the worst case holds best-case capacity, so
+        # the height never grows beyond the best case.
+        for fanout in (24, 120):
+            for height in range(1, 7):
+                capacity = wc.best_case_data_nodes(fanout, height)
+                assert mp.worst_case_height(fanout, capacity) <= height
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ReproError):
+            mp.worst_case_height(24, 0)

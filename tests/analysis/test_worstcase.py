@@ -1,0 +1,118 @@
+"""Tests for the §7.1/§7.2 analysis (equations 1–9)."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import worstcase as wc
+
+
+class TestBestCase:
+    def test_equation_1(self):
+        assert wc.best_case_data_nodes(24, 3) == 24**3
+        assert wc.best_case_data_nodes(10, 0) == 1
+
+    def test_equation_2(self):
+        # ti(h) = 1 + F + ... + F^(h-1)
+        assert wc.best_case_index_nodes(10, 3) == 1 + 10 + 100
+        assert wc.best_case_index_nodes(10, 1) == 1
+        assert wc.best_case_index_nodes(10, 0) == 0
+
+    def test_equation_3_ratio(self):
+        # ti/td -> 1/F for large F
+        for fanout in (24, 120, 400):
+            ratio = wc.best_case_ratio(fanout, 5)
+            assert ratio == pytest.approx(1 / fanout, rel=0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            wc.best_case_data_nodes(1, 3)
+        with pytest.raises(ReproError):
+            wc.best_case_data_nodes(10, -1)
+
+
+class TestWorstCase:
+    def test_equation_5_binomial(self):
+        assert wc.worst_case_data_nodes(24, 1) == 24
+        assert wc.worst_case_data_nodes(24, 2) == 24 * 25 // 2
+        assert wc.worst_case_data_nodes(24, 3) == math.comb(26, 3)
+
+    def test_recursion_matches_closed_form(self):
+        # Equation (4) == equation (5) for all parameters.
+        for fanout in (12, 24, 60, 120):
+            for height in range(1, 9):
+                recursive = wc.worst_case_data_nodes_recursive(fanout, height)
+                closed = wc.worst_case_data_nodes(fanout, height)
+                assert recursive == pytest.approx(closed, rel=1e-12)
+
+    def test_integer_constrained_never_exceeds_closed_form(self):
+        for fanout in (24, 60, 120):
+            for height in range(1, 9):
+                assert wc.worst_case_data_nodes_integer(
+                    fanout, height
+                ) <= wc.worst_case_data_nodes(fanout, height)
+
+    def test_integer_constrained_exact_at_divisible_fanout(self):
+        # F = 60 is divisible by 1..5: the paper's example of the smallest
+        # fan-out exact for height 5.
+        assert wc.worst_case_data_nodes_integer(60, 5) == wc.worst_case_data_nodes(60, 5)
+
+    def test_equation_8_index_nodes(self):
+        # ti(2) = F/2 (paper's worked value).
+        assert wc.worst_case_index_nodes(24, 2) == pytest.approx(12.0)
+        assert wc.worst_case_index_nodes(24, 0) == 0.0
+
+    def test_index_recursion_close_to_closed_form(self):
+        # Equation (8) neglects the root term of equation (6).
+        for fanout in (24, 120):
+            for height in range(2, 8):
+                recursive = wc.worst_case_index_nodes_recursive(fanout, height)
+                closed = wc.worst_case_index_nodes(fanout, height)
+                assert recursive == pytest.approx(closed, rel=0.2)
+
+    def test_equation_9_ratio(self):
+        for fanout in (24, 120):
+            ratio = wc.worst_case_ratio(fanout, 5)
+            assert ratio == pytest.approx(1 / fanout, rel=0.1)
+
+    def test_capacity_loss_is_h_factorial(self):
+        # The headline result: worst case loses a factor ≈ h!.
+        for height in range(1, 7):
+            loss = wc.capacity_loss_factor(400, height)
+            assert loss == pytest.approx(math.factorial(height), rel=0.15)
+
+
+class TestHeights:
+    def test_best_case_height(self):
+        assert wc.best_case_height(24, 1) == 0
+        assert wc.best_case_height(24, 24) == 1
+        assert wc.best_case_height(24, 25) == 2
+        assert wc.best_case_height(24, 24**3) == 3
+
+    def test_worst_case_height_at_least_best(self):
+        for nodes in (10, 1000, 10**6):
+            assert wc.worst_case_height(24, nodes) >= wc.best_case_height(24, nodes)
+
+    def test_paper_growth_claims_f24(self):
+        # Figure 7-1 reading: best-case height 3 -> worst 4, 4 -> 6.
+        assert wc.worst_case_height(24, 24**3) == 4
+        assert wc.worst_case_height(24, 24**4) == 6
+        # Paper says height 5 -> 10; the binomial model gives 9 (the
+        # paper's chart is read off a log-scale figure; see EXPERIMENTS.md).
+        assert wc.worst_case_height(24, 24**5) in (9, 10)
+
+    def test_paper_growth_claims_f120(self):
+        # Figure 7-2 reading: 4 -> 5, 6 -> 8..9.
+        assert wc.worst_case_height(120, 120**4) == 5
+        assert wc.worst_case_height(120, 120**6) in (8, 9)
+
+    def test_height_penalty(self):
+        assert wc.height_penalty(24, 24**4) == 2
+        assert wc.height_penalty(120, 120**4) == 1
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ReproError):
+            wc.best_case_height(24, 0)
+        with pytest.raises(ReproError):
+            wc.worst_case_height(24, 0)

@@ -1,0 +1,89 @@
+"""Unit tests for the balanced-directory BANG file (Figure 1-3 behaviour)."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.baselines.bangfile import BangFile
+from tests.conftest import make_points
+
+
+@pytest.fixture
+def bang(unit2):
+    return BangFile(unit2, data_capacity=8, fanout=8)
+
+
+class TestPointOps:
+    def test_insert_get(self, bang):
+        bang.insert((0.2, 0.8), "v")
+        assert bang.get((0.2, 0.8)) == "v"
+
+    def test_missing(self, bang):
+        with pytest.raises(KeyNotFoundError):
+            bang.get((0.5, 0.5))
+
+    def test_duplicate(self, bang):
+        bang.insert((0.2, 0.8), 1)
+        with pytest.raises(DuplicateKeyError):
+            bang.insert((0.2, 0.8), 2)
+
+    def test_bulk_roundtrip(self, bang):
+        points = make_points(1200, 2, seed=22)
+        for i, p in enumerate(points):
+            bang.insert(p, i, replace=True)
+        bang.check()
+        for i, p in enumerate(points[:300]):
+            bang.get(p)
+
+    def test_search_cost(self, bang):
+        for i, p in enumerate(make_points(600, 2, seed=23)):
+            bang.insert(p, i, replace=True)
+        assert bang.search_cost((0.5, 0.5)) == bang.height + 1
+
+    def test_range_query(self, bang):
+        points = make_points(800, 2, seed=24)
+        for i, p in enumerate(points):
+            bang.insert(p, i, replace=True)
+        result = bang.range_query((0.1, 0.1), (0.4, 0.4))
+        expected = {
+            p for p in set(points) if 0.1 <= p[0] < 0.4 and 0.1 <= p[1] < 0.4
+        }
+        assert set(result.points()) == expected
+
+
+class TestForcedSplits:
+    def test_directory_splits_force_region_splits(self, unit2):
+        # Figure 1-3: the balanced directory boundary cuts subspaces;
+        # without guards the BANG file must split them downward.
+        bang = BangFile(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(3000, 2, seed=25)):
+            bang.insert(p, i, replace=True)
+        assert bang.stats.forced_splits > 0
+        bang.check()
+
+    def test_forced_splits_destroy_occupancy(self, unit2):
+        bang = BangFile(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(3000, 2, seed=25)):
+            bang.insert(p, i, replace=True)
+        data, index = bang.occupancies()
+        assert min(data) < -(-4 // 3)
+
+    def test_cascade_depth_recorded(self, unit2):
+        bang = BangFile(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(3000, 2, seed=25)):
+            bang.insert(p, i, replace=True)
+        assert bang.stats.max_cascade >= 1
+
+    def test_clustered_data_still_correct(self, unit2):
+        from repro.workloads import clustered
+
+        bang = BangFile(unit2, data_capacity=4, fanout=4)
+        points = list(clustered(2000, 2, clusters=3, seed=26))
+        for i, p in enumerate(points):
+            bang.insert(p, i, replace=True)
+        bang.check()
+        found = sum(
+            1
+            for p in set(points)
+            if bang.get(p) is not None or True
+        )
+        assert found == len(set(points))

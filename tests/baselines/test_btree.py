@@ -1,0 +1,151 @@
+"""Unit tests for the B+-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, TreeInvariantError
+from repro.baselines.btree import BPlusTree
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(leaf_capacity=4, fanout=4)
+
+
+class TestBasics:
+    def test_insert_get(self, tree):
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert len(tree) == 2
+
+    def test_missing_key(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.get(1)
+
+    def test_duplicate(self, tree):
+        tree.insert(1, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, "b")
+        tree.insert(1, "b", replace=True)
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_contains(self, tree):
+        tree.insert(1, None)
+        assert tree.contains(1)
+        assert not tree.contains(2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TreeInvariantError):
+            BPlusTree(leaf_capacity=1)
+        with pytest.raises(TreeInvariantError):
+            BPlusTree(fanout=2)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("order", ["sorted", "reversed", "shuffled"])
+    def test_thousand_keys(self, tree, order):
+        keys = list(range(1000))
+        if order == "reversed":
+            keys.reverse()
+        elif order == "shuffled":
+            random.Random(5).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 10)
+        tree.check()
+        for k in range(1000):
+            assert tree.get(k) == k * 10
+        assert [k for k, _ in tree.items()] == list(range(1000))
+
+    def test_height_logarithmic(self, tree):
+        for k in range(1000):
+            tree.insert(k, None)
+        assert tree.height <= 7
+
+    def test_search_cost_is_height_plus_one(self, tree):
+        for k in range(500):
+            tree.insert(k, None)
+        assert tree.search_cost(250) == tree.height + 1
+
+    def test_occupancy_at_least_half(self, tree):
+        random_keys = random.Random(6).sample(range(10000), 2000)
+        for k in random_keys:
+            tree.insert(k, None)
+        leaves, branches = tree.node_occupancies()
+        assert min(leaves) >= tree.leaf_capacity // 2
+        if len(branches) > 1:
+            assert min(branches) >= 2
+
+
+class TestRangeScan:
+    def test_range(self, tree):
+        for k in range(100):
+            tree.insert(k, -k)
+        records, pages = tree.range_scan(10, 20)
+        assert [k for k, _ in records] == list(range(10, 20))
+        assert pages >= 1
+
+    def test_empty_range(self, tree):
+        for k in range(100):
+            tree.insert(k, None)
+        records, _ = tree.range_scan(200, 300)
+        assert records == []
+
+    def test_float_keys(self, tree):
+        keys = [0.5, 0.1, 0.9, 0.3]
+        for k in keys:
+            tree.insert(k, k)
+        records, _ = tree.range_scan(0.2, 0.6)
+        assert sorted(k for k, _ in records) == [0.3, 0.5]
+
+
+class TestDeletion:
+    def test_delete_returns_value(self, tree):
+        tree.insert(7, "seven")
+        assert tree.delete(7) == "seven"
+        assert len(tree) == 0
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(7)
+
+    def test_delete_everything_random_order(self, tree):
+        keys = list(range(600))
+        rng = random.Random(8)
+        for k in keys:
+            tree.insert(k, k)
+        rng.shuffle(keys)
+        for i, k in enumerate(keys):
+            assert tree.delete(k) == k
+            if i % 100 == 0:
+                tree.check()
+        assert len(tree) == 0
+        assert tree.height == 0
+
+    def test_delete_maintains_occupancy(self, tree):
+        for k in range(1000):
+            tree.insert(k, None)
+        rng = random.Random(9)
+        victims = rng.sample(range(1000), 600)
+        for k in victims:
+            tree.delete(k)
+        tree.check()
+        remaining = sorted(set(range(1000)) - set(victims))
+        assert [k for k, _ in tree.items()] == remaining
+
+    def test_interleaved_ops(self, tree):
+        rng = random.Random(10)
+        live = {}
+        for step in range(3000):
+            if live and rng.random() < 0.5:
+                k = rng.choice(list(live))
+                assert tree.delete(k) == live.pop(k)
+            else:
+                k = rng.randrange(10_000)
+                if k in live:
+                    continue
+                tree.insert(k, step)
+                live[k] = step
+        tree.check()
+        assert len(tree) == len(live)

@@ -1,0 +1,100 @@
+"""Unit tests for the K-D-B tree baseline (cascade behaviour included)."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, GeometryError, KeyNotFoundError
+from repro.baselines.kdbtree import KDBTree
+from tests.conftest import make_points
+
+
+@pytest.fixture
+def kdb(unit2):
+    return KDBTree(unit2, data_capacity=8, fanout=8)
+
+
+class TestPointOps:
+    def test_insert_get(self, kdb):
+        kdb.insert((0.3, 0.7), "x")
+        assert kdb.get((0.3, 0.7)) == "x"
+        assert len(kdb) == 1
+
+    def test_missing(self, kdb):
+        with pytest.raises(KeyNotFoundError):
+            kdb.get((0.1, 0.1))
+
+    def test_duplicate(self, kdb):
+        kdb.insert((0.3, 0.7), 1)
+        with pytest.raises(DuplicateKeyError):
+            kdb.insert((0.3, 0.7), 2)
+        kdb.insert((0.3, 0.7), 2, replace=True)
+        assert kdb.get((0.3, 0.7)) == 2
+
+    def test_out_of_space(self, kdb):
+        with pytest.raises(GeometryError):
+            kdb.insert((2.0, 0.5), 1)
+
+    def test_delete_is_simple_removal(self, kdb):
+        kdb.insert((0.3, 0.7), "x")
+        assert kdb.delete((0.3, 0.7)) == "x"
+        assert len(kdb) == 0
+        with pytest.raises(KeyNotFoundError):
+            kdb.delete((0.3, 0.7))
+
+
+class TestStructure:
+    def test_bulk_roundtrip_and_partition(self, kdb):
+        points = make_points(1500, 2, seed=16)
+        for i, p in enumerate(points):
+            kdb.insert(p, i, replace=True)
+        kdb.check()  # disjointness + tiling + containment
+        for i, p in enumerate(points[:200]):
+            kdb.get(p)
+
+    def test_search_cost_is_path_length(self, kdb):
+        for i, p in enumerate(make_points(800, 2, seed=17)):
+            kdb.insert(p, i, replace=True)
+        assert kdb.search_cost((0.5, 0.5)) == kdb.height + 1
+
+    def test_range_query_matches_brute_force(self, kdb):
+        points = make_points(1000, 2, seed=18)
+        for i, p in enumerate(points):
+            kdb.insert(p, i, replace=True)
+        result = kdb.range_query((0.2, 0.3), (0.5, 0.6))
+        expected = {
+            p
+            for p in set(points)
+            if 0.2 <= p[0] < 0.5 and 0.3 <= p[1] < 0.6
+        }
+        assert set(result.points()) == expected
+
+
+class TestCascades:
+    def test_forced_splits_happen(self, unit2):
+        # The defining K-D-B pathology (paper Fig. 1-2): with enough
+        # data, directory splits cut children and cascade.
+        kdb = KDBTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(3000, 2, seed=19)):
+            kdb.insert(p, i, replace=True)
+        assert kdb.stats.forced_splits > 0
+        assert kdb.stats.max_cascade >= 1
+        kdb.check()
+
+    def test_forced_splits_break_occupancy(self, unit2):
+        kdb = KDBTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(3000, 2, seed=19)):
+            kdb.insert(p, i, replace=True)
+        data, _ = kdb.occupancies()
+        # No minimum can be guaranteed: cascades create underfull (even
+        # empty) pages.
+        assert min(data) < -(-4 // 3)
+
+    def test_three_dimensions(self, unit3):
+        kdb = KDBTree(unit3, data_capacity=6, fanout=6)
+        points = make_points(1200, 3, seed=20)
+        for i, p in enumerate(points):
+            kdb.insert(p, i, replace=True)
+        kdb.check()
+        for p in random.Random(21).sample(points, 100):
+            kdb.get(p)

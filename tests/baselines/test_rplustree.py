@@ -1,0 +1,100 @@
+"""Unit tests for the R+-tree baseline (object clipping instrumented)."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError, TreeInvariantError
+from repro.baselines.rplustree import RPlusTree
+from repro.geometry.rect import Rect
+
+
+def random_rects(n, seed=1, max_side=0.05):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        w, h = rng.uniform(1e-3, max_side), rng.uniform(1e-3, max_side)
+        out.append(Rect((x, y), (x + w, y + h)))
+    return out
+
+
+@pytest.fixture
+def rp(unit2):
+    return RPlusTree(unit2, capacity=8)
+
+
+class TestInsertAndQuery:
+    def test_roundtrip_with_dedup(self, rp):
+        objects = random_rects(800)
+        for i, r in enumerate(objects):
+            rp.insert(r, i)
+        rp.check()
+        q = Rect((0.25, 0.25), (0.55, 0.65))
+        got, _ = rp.intersecting(q)
+        expected = {i for i, r in enumerate(objects) if r.intersects(q)}
+        assert {v for _, v in got} == expected
+        # Copies never appear twice in a result.
+        assert len(got) == len(expected)
+
+    def test_stabbing_query(self, rp):
+        objects = random_rects(600, seed=2)
+        for i, r in enumerate(objects):
+            rp.insert(r, i)
+        p = (0.33, 0.44)
+        got, _ = rp.containing_point(p)
+        expected = {i for i, r in enumerate(objects) if r.contains_point(p)}
+        assert {v for _, v in got} == expected
+
+    def test_regions_stay_disjoint(self, rp):
+        for i, r in enumerate(random_rects(1200, seed=3)):
+            rp.insert(r, i)
+        rp.check()  # includes pairwise disjointness of sibling regions
+
+    def test_rejects_out_of_space(self, rp):
+        with pytest.raises(GeometryError):
+            rp.insert(Rect((0.9, 0.9), (1.2, 1.2)))
+
+    def test_rejects_tiny_capacity(self, unit2):
+        with pytest.raises(TreeInvariantError):
+            RPlusTree(unit2, capacity=2)
+
+
+class TestDuplication:
+    def test_copies_counted(self, rp):
+        objects = random_rects(800, seed=4, max_side=0.08)
+        for i, r in enumerate(objects):
+            rp.insert(r, i)
+        assert rp.stored_copies() >= len(rp)
+        assert rp.stored_copies() - len(rp) > 0  # duplication happened
+        assert rp.stats.object_copies == rp.stored_copies() - len(rp)
+
+    def test_bigger_objects_duplicate_more(self, unit2):
+        def copies_for(max_side):
+            tree = RPlusTree(unit2, capacity=8)
+            for i, r in enumerate(random_rects(500, seed=5, max_side=max_side)):
+                tree.insert(r, i)
+            return tree.stored_copies() / len(tree)
+
+        small = copies_for(0.005)
+        large = copies_for(0.1)
+        # §1: splitting objects into parts grows with object extent —
+        # "the uncontrollable update characteristics we are trying to
+        # avoid (and which, for example, the R+ tree also shows)".
+        assert large > small
+
+    def test_forced_partitions_recorded(self, rp):
+        for i, r in enumerate(random_rects(800, seed=6, max_side=0.08)):
+            rp.insert(r, i)
+        assert rp.stats.forced_partitions > 0
+
+    def test_point_objects_never_duplicate(self, unit2):
+        rp = RPlusTree(unit2, capacity=8)
+        rng = random.Random(7)
+        eps = 1e-9
+        for i in range(500):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            rp.insert(Rect((x, y), (x + eps, y + eps)), i)
+        # Degenerate (point-like) objects never straddle a cut whose
+        # position is an object edge.
+        assert rp.stored_copies() == len(rp)

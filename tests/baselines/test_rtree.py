@@ -1,0 +1,142 @@
+"""Unit tests for the R-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError, KeyNotFoundError, TreeInvariantError
+from repro.baselines.rtree import RTree, _mbr
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+
+
+def random_rects(n, seed=1, max_side=0.05):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        w, h = rng.uniform(1e-3, max_side), rng.uniform(1e-3, max_side)
+        out.append(Rect((x, y), (x + w, y + h)))
+    return out
+
+
+@pytest.fixture
+def rt(unit2):
+    return RTree(unit2, capacity=8)
+
+
+class TestMBR:
+    def test_mbr_of_two(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 0.5), (3.0, 2.0))
+        assert _mbr([a, b]) == Rect((0.0, 0.0), (3.0, 2.0))
+
+    def test_mbr_of_one(self):
+        a = Rect((0.1, 0.2), (0.3, 0.4))
+        assert _mbr([a]) == a
+
+
+class TestInsertAndQuery:
+    def test_roundtrip(self, rt):
+        objects = random_rects(1000)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        rt.check()
+        assert len(rt) == 1000
+        q = Rect((0.2, 0.2), (0.6, 0.6))
+        got, pages = rt.intersecting(q)
+        expected = {i for i, r in enumerate(objects) if r.intersects(q)}
+        assert {v for _, v in got} == expected
+        assert pages >= 1
+
+    def test_stabbing(self, rt):
+        objects = random_rects(800, seed=2)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        p = (0.45, 0.55)
+        got, _ = rt.containing_point(p)
+        expected = {i for i, r in enumerate(objects) if r.contains_point(p)}
+        assert {v for _, v in got} == expected
+
+    def test_items(self, rt):
+        objects = random_rects(50, seed=3)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        assert len(list(rt.items())) == 50
+
+    def test_rejects_out_of_space(self, rt):
+        with pytest.raises(GeometryError):
+            rt.insert(Rect((0.9, 0.9), (1.1, 1.1)))
+
+    def test_rejects_dim_mismatch(self, rt):
+        with pytest.raises(GeometryError):
+            rt.insert(Rect((0.1,), (0.2,)))
+
+    def test_rejects_tiny_capacity(self, unit2):
+        with pytest.raises(TreeInvariantError):
+            RTree(unit2, capacity=3)
+
+    def test_splits_recorded(self, rt):
+        for i, r in enumerate(random_rects(500, seed=4)):
+            rt.insert(r, i)
+        assert rt.stats.leaf_splits > 0
+        assert rt.height >= 1
+
+
+class TestDeletion:
+    def test_delete_and_requery(self, rt):
+        objects = random_rects(600, seed=5)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        for i, r in enumerate(objects[:300]):
+            rt.delete(r, i)
+        rt.check()
+        assert len(rt) == 300
+        q = Rect((0.0, 0.0), (1.0, 1.0))
+        got, _ = rt.intersecting(q)
+        assert {v for _, v in got} == set(range(300, 600))
+
+    def test_delete_missing(self, rt):
+        rt.insert(Rect((0.1, 0.1), (0.2, 0.2)), "x")
+        with pytest.raises(KeyNotFoundError):
+            rt.delete(Rect((0.3, 0.3), (0.4, 0.4)), "x")
+
+    def test_delete_everything(self, rt):
+        objects = random_rects(300, seed=6)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        for i, r in enumerate(objects):
+            rt.delete(r, i)
+        assert len(rt) == 0
+        got, _ = rt.intersecting(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert got == []
+
+    def test_condense_reinserts(self, rt):
+        objects = random_rects(400, seed=7)
+        for i, r in enumerate(objects):
+            rt.insert(r, i)
+        rng = random.Random(8)
+        order = list(enumerate(objects))
+        rng.shuffle(order)
+        for i, r in order[:350]:
+            rt.delete(r, i)
+        rt.check()
+        assert len(rt) == 50
+
+
+class TestOverlapPathology:
+    def test_overlap_costs_pages(self, unit2):
+        # Elongated crossing objects force heavy MBR overlap; a stabbing
+        # query then descends multiple subtrees — the unbounded-search
+        # behaviour §8's dual representation eliminates.
+        rt = RTree(unit2, capacity=8)
+        rng = random.Random(9)
+        for i in range(600):
+            if i % 2 == 0:
+                x, y = rng.random() * 0.5, rng.random() * 0.95
+                rt.insert(Rect((x, y), (x + 0.45, y + 0.003)), i)
+            else:
+                x, y = rng.random() * 0.95, rng.random() * 0.5
+                rt.insert(Rect((x, y), (x + 0.003, y + 0.45)), i)
+        _, pages = rt.containing_point((0.5, 0.5))
+        assert pages > rt.height + 1  # more than one root-leaf path

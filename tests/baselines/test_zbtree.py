@@ -1,0 +1,103 @@
+"""Unit tests for the Z-order B-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError, KeyNotFoundError
+from repro.baselines.zbtree import ZOrderBTree
+from repro.geometry.rect import Rect
+from tests.conftest import make_points
+
+
+@pytest.fixture
+def zb(unit2):
+    return ZOrderBTree(unit2, leaf_capacity=8, fanout=8)
+
+
+class TestPointOps:
+    def test_insert_get_delete(self, zb):
+        zb.insert((0.25, 0.75), "a")
+        assert zb.get((0.25, 0.75)) == "a"
+        assert zb.contains((0.25, 0.75))
+        assert zb.delete((0.25, 0.75)) == "a"
+        assert not zb.contains((0.25, 0.75))
+
+    def test_missing(self, zb):
+        with pytest.raises(KeyNotFoundError):
+            zb.get((0.1, 0.1))
+
+    def test_bulk_roundtrip(self, zb):
+        points = make_points(1000, 2, seed=11)
+        for i, p in enumerate(points):
+            zb.insert(p, i, replace=True)
+        zb.tree.check()
+        for i, p in enumerate(points):
+            assert zb.get(p) == i
+        assert len(zb) == len(set(points))
+
+    def test_search_cost_matches_btree(self, zb):
+        for i, p in enumerate(make_points(1000, 2, seed=12)):
+            zb.insert(p, i, replace=True)
+        assert zb.search_cost((0.4, 0.4)) == zb.height + 1
+
+
+class TestZIntervals:
+    def test_full_space_one_interval(self, zb):
+        intervals = zb.z_intervals(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert intervals == [(0, 2**zb.space.path_bits - 1)]
+
+    def test_quadrant_is_one_interval(self, zb):
+        # [0, .5) x [0, .5) is exactly the '00' block: contiguous codes.
+        intervals = zb.z_intervals(Rect((0.0, 0.0), (0.5, 0.5)))
+        assert len(intervals) == 1
+
+    def test_cross_boundary_box_fragments(self, zb):
+        # A centred box cuts across the top-level Z boundary.
+        intervals = zb.z_intervals(Rect((0.25, 0.25), (0.75, 0.75)))
+        assert len(intervals) > 1
+
+    def test_interval_budget_respected(self, unit2):
+        zb = ZOrderBTree(unit2, max_intervals=8)
+        intervals = zb.z_intervals(Rect((0.11, 0.13), (0.57, 0.83)))
+        assert len(intervals) <= 8 + 2  # merge may reduce below budget
+
+    def test_intervals_disjoint_and_sorted(self, zb):
+        intervals = zb.z_intervals(Rect((0.1, 0.2), (0.6, 0.9)))
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 < b0
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, zb):
+        points = make_points(1500, 2, seed=13)
+        for i, p in enumerate(points):
+            zb.insert(p, i, replace=True)
+        rng = random.Random(14)
+        for _ in range(15):
+            lows = (rng.uniform(0, 0.7), rng.uniform(0, 0.7))
+            highs = (lows[0] + rng.uniform(0.05, 0.3), lows[1] + rng.uniform(0.05, 0.3))
+            result = zb.range_query(lows, highs)
+            expected = {
+                p
+                for p in set(points)
+                if lows[0] <= p[0] < highs[0] and lows[1] <= p[1] < highs[1]
+            }
+            assert set(result.points()) == expected
+
+    def test_dim_mismatch(self, zb):
+        with pytest.raises(GeometryError):
+            zb.range_query((0.0,), (1.0,))
+
+    def test_partial_match(self, zb):
+        x = 0.625  # exactly representable, stable grid cell
+        for i in range(30):
+            zb.insert((x, i / 30), i, replace=True)
+        for p in make_points(300, 2, seed=15):
+            zb.insert(p, None, replace=True)
+        result = zb.partial_match({0: x})
+        assert sum(1 for p in result.points() if p[0] == x) == 30
+
+    def test_partial_match_bad_constraint(self, zb):
+        with pytest.raises(GeometryError):
+            zb.partial_match({0: 2.0})

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+
+
+@pytest.fixture
+def unit2() -> DataSpace:
+    """The unit square at 16-bit resolution."""
+    return DataSpace.unit(2, resolution=16)
+
+
+@pytest.fixture
+def unit3() -> DataSpace:
+    """The unit cube at 16-bit resolution."""
+    return DataSpace.unit(3, resolution=16)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(0xBEEF)
+
+
+@pytest.fixture
+def small_tree(unit2: DataSpace) -> BVTree:
+    """A small-capacity BV-tree (P=4, F=4) that splits early and often."""
+    return BVTree(unit2, data_capacity=4, fanout=4)
+
+
+@pytest.fixture
+def loaded_tree(unit2: DataSpace, rng: random.Random) -> BVTree:
+    """A BV-tree pre-loaded with 600 uniform points (values = indexes)."""
+    tree = BVTree(unit2, data_capacity=6, fanout=6)
+    for i in range(600):
+        tree.insert((rng.random(), rng.random()), i, replace=True)
+    return tree
+
+
+def make_points(n: int, ndim: int, seed: int = 7) -> list[tuple[float, ...]]:
+    """Deterministic uniform points (plain helper, not a fixture)."""
+    r = random.Random(seed)
+    return [tuple(r.random() for _ in range(ndim)) for _ in range(n)]

@@ -1,0 +1,80 @@
+"""Tests for convenience APIs: get_fast, update_many, clear."""
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.core.tree import BVTree
+from tests.conftest import make_points
+
+
+class TestGetFast:
+    def test_agrees_with_get(self, loaded_tree):
+        for point, value in list(loaded_tree.items())[:200]:
+            assert loaded_tree.get_fast(point) == value
+            assert loaded_tree.get_fast(point) == loaded_tree.get(point)
+
+    def test_missing_point(self, loaded_tree):
+        with pytest.raises(KeyNotFoundError):
+            loaded_tree.get_fast((0.123456789, 0.987654321))
+
+    def test_empty_tree(self, small_tree):
+        with pytest.raises(KeyNotFoundError):
+            small_tree.get_fast((0.5, 0.5))
+
+    def test_root_data_page(self, small_tree):
+        small_tree.insert((0.5, 0.5), "x")
+        assert small_tree.get_fast((0.5, 0.5)) == "x"
+
+    def test_agreement_under_churn(self, unit2):
+        # get_fast relies on canonical placement; agreement with get after
+        # heavy mixed traffic is a live audit of that invariant.
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        rng = random.Random(55)
+        live = {}
+        for step in range(3000):
+            if live and rng.random() < 0.45:
+                path = rng.choice(list(live))
+                tree.delete(live.pop(path))
+            else:
+                p = (rng.random(), rng.random())
+                tree.insert(p, step, replace=True)
+                live[tree.space.point_path(p)] = p
+        for path, p in list(live.items())[:300]:
+            assert tree.get_fast(p) == tree.get(p)
+
+
+class TestUpdateMany:
+    def test_bulk_insert(self, small_tree):
+        points = make_points(200, 2, seed=56)
+        added = small_tree.update_many((p, i) for i, p in enumerate(points))
+        assert added == len(set(points))
+        assert len(small_tree) == added
+        small_tree.check(sample_points=50)
+
+    def test_counts_only_new(self, small_tree):
+        small_tree.insert((0.5, 0.5), "old")
+        added = small_tree.update_many([((0.5, 0.5), "new"), ((0.1, 0.1), "x")])
+        assert added == 1
+        assert small_tree.get((0.5, 0.5)) == "new"
+
+
+class TestClear:
+    def test_clear_resets(self, loaded_tree):
+        store = loaded_tree.store
+        loaded_tree.clear()
+        assert len(loaded_tree) == 0
+        assert loaded_tree.height == 0
+        assert store.live_pages() == 1
+        assert loaded_tree.keys == {}
+
+    def test_usable_after_clear(self, loaded_tree):
+        loaded_tree.clear()
+        for i, p in enumerate(make_points(100, 2, seed=57)):
+            loaded_tree.insert(p, i, replace=True)
+        loaded_tree.check(sample_points=30)
+
+    def test_clear_empty(self, small_tree):
+        small_tree.clear()
+        assert len(small_tree) == 0

@@ -1,0 +1,134 @@
+"""Tests for deletion, merging and redistribution (paper §5)."""
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from tests.conftest import make_points
+
+
+class TestBasicDeletion:
+    def test_delete_returns_value(self, small_tree):
+        small_tree.insert((0.25, 0.25), "payload")
+        assert small_tree.delete((0.25, 0.25)) == "payload"
+        assert len(small_tree) == 0
+        assert not small_tree.contains((0.25, 0.25))
+
+    def test_delete_missing_raises(self, small_tree):
+        small_tree.insert((0.25, 0.25), 1)
+        with pytest.raises(KeyNotFoundError):
+            small_tree.delete((0.75, 0.75))
+        assert len(small_tree) == 1
+
+    def test_delete_reinsert(self, small_tree):
+        small_tree.insert((0.5, 0.5), 1)
+        small_tree.delete((0.5, 0.5))
+        small_tree.insert((0.5, 0.5), 2)
+        assert small_tree.get((0.5, 0.5)) == 2
+
+
+class TestMerging:
+    def test_delete_everything_collapses_tree(self, unit2):
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        points = make_points(800, 2, seed=21)
+        for i, p in enumerate(points):
+            tree.insert(p, i, replace=True)
+        rng = random.Random(1)
+        order = sorted(set(points), key=lambda p: rng.random())
+        for p in order:
+            tree.delete(p)
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.store.live_pages() == 1  # just the empty root data page
+        tree.check(check_occupancy=False)
+
+    def test_merges_keep_records_findable(self, unit2):
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        points = list(dict.fromkeys(make_points(600, 2, seed=22)))
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        rng = random.Random(2)
+        rng.shuffle(points)
+        removed, kept = points[:400], points[400:]
+        for p in removed:
+            tree.delete(p)
+        for p in kept:
+            assert tree.contains(p)
+        for p in removed:
+            assert not tree.contains(p)
+        tree.check(sample_points=50, check_owners=True, check_occupancy=False)
+
+    def test_occupancy_maintained_under_deletion(self, unit2):
+        tree = BVTree(unit2, data_capacity=12, fanout=12)
+        points = list(dict.fromkeys(make_points(3000, 2, seed=23)))
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        rng = random.Random(3)
+        rng.shuffle(points)
+        for p in points[: len(points) // 2]:
+            tree.delete(p)
+        stats = tree.tree_stats()
+        if tree.stats.deferred_merges == 0:
+            assert stats.min_data_occupancy >= tree.policy.min_data_occupancy()
+        assert tree.stats.merges > 0
+
+    def test_redistribution_counts(self, unit2):
+        # Deleting from clustered data forces merge-then-resplit cycles.
+        from repro.workloads import clustered
+
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        points = list(dict.fromkeys(clustered(1500, 2, clusters=3, seed=4)))
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        rng = random.Random(5)
+        rng.shuffle(points)
+        for p in points[: len(points) * 3 // 4]:
+            tree.delete(p)
+        tree.check(sample_points=40, check_occupancy=False)
+
+
+class TestMixedWorkload:
+    def test_interleaved_insert_delete(self, unit3):
+        tree = BVTree(unit3, data_capacity=6, fanout=6)
+        rng = random.Random(31)
+        live: dict[tuple, int] = {}
+        for step in range(4000):
+            if live and rng.random() < 0.45:
+                point = rng.choice(list(live))
+                assert tree.delete(point) == live.pop(point)
+            else:
+                point = tuple(rng.random() for _ in range(3))
+                tree.insert(point, step, replace=True)
+                live[point] = step
+        assert len(tree) == len(live)
+        for point, value in list(live.items())[:300]:
+            assert tree.get(point) == value
+        tree.check(sample_points=50, check_owners=True, check_occupancy=False)
+
+    def test_grow_shrink_grow(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        points = list(dict.fromkeys(make_points(400, 2, seed=33)))
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        peak_height = tree.height
+        for p in points:
+            tree.delete(p)
+        assert tree.height == 0
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert tree.height >= peak_height - 1
+        tree.check(sample_points=50)
+
+    def test_delete_from_one_dimension(self):
+        tree = BVTree(DataSpace.unit(1, resolution=20), data_capacity=8, fanout=8)
+        points = [(i / 500,) for i in range(500)]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for p in points[::2]:
+            tree.delete(p)
+        for i, p in enumerate(points):
+            assert tree.contains(p) == (i % 2 == 1)
+        tree.check(check_occupancy=False)

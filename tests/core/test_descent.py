@@ -1,0 +1,107 @@
+"""Tests for the descent machinery (exact-match search, owner lookup)."""
+
+import pytest
+
+from repro.errors import TreeInvariantError
+from repro.core.descent import find_owner, locate, step
+from repro.core.entry import Entry
+from repro.core.guards import GuardSet
+from repro.core.node import IndexNode
+from repro.core.tree import BVTree
+from repro.geometry.region import RegionKey
+from tests.conftest import make_points
+
+
+def key(bits: str) -> RegionKey:
+    return RegionKey.from_bits(bits)
+
+
+class TestStep:
+    def test_native_wins_without_guards(self):
+        node = IndexNode(1)
+        e = Entry(key("0"), 0, 5)
+        node.add(e)
+        guards = GuardSet()
+        winner, owner = step(node, 99, 0b0100, 4, guards)
+        assert winner is e
+        assert owner == 99
+
+    def test_carried_guard_wins_with_longer_key(self):
+        node = IndexNode(1)
+        native = Entry(key("0"), 0, 5)
+        node.add(native)
+        guards = GuardSet()
+        guard = Entry(key("01"), 0, 6)
+        guards.merge(guard, 42)
+        winner, owner = step(node, 99, 0b0100, 4, guards)
+        assert winner is guard
+        assert owner == 42
+
+    def test_carried_guard_loses_with_shorter_key(self):
+        node = IndexNode(1)
+        native = Entry(key("01"), 0, 5)
+        node.add(native)
+        guards = GuardSet()
+        guards.merge(Entry(key("0"), 0, 6), 42)
+        winner, owner = step(node, 99, 0b0100, 4, guards)
+        assert winner is native
+        # The losing guard was consumed either way (paper §3).
+        assert guards.peek(0) is None
+
+    def test_in_node_guards_join_the_set(self):
+        node = IndexNode(2)
+        node.add(Entry(key("0"), 1, 5))
+        lower_guard = Entry(key("01"), 0, 6)
+        node.add(lower_guard)
+        guards = GuardSet()
+        step(node, 99, 0b0100, 4, guards)
+        assert guards.peek(0) == (lower_guard, 99)
+
+    def test_no_coverage_raises(self):
+        node = IndexNode(1)
+        node.add(Entry(key("0"), 0, 5))
+        with pytest.raises(TreeInvariantError):
+            step(node, 99, 0b1000, 4, GuardSet())
+
+
+class TestLocate:
+    def test_every_point_locates_to_its_page(self, loaded_tree):
+        for point, value in list(loaded_tree.items())[:100]:
+            path = loaded_tree.space.point_path(point)
+            found = locate(loaded_tree, path)
+            page = loaded_tree.store.read(found.entry.page)
+            assert page.records[path][1] == value
+
+    def test_path_length_invariant(self, loaded_tree):
+        for p in make_points(40, 2, seed=12):
+            found = locate(loaded_tree, loaded_tree.space.point_path(p))
+            assert found.nodes_visited == loaded_tree.height + 1
+
+    def test_locate_on_empty_tree(self, small_tree):
+        found = locate(small_tree, 0)
+        assert found.entry.level == 0
+        assert found.nodes_visited == 1
+        assert found.owner_page is None
+
+
+class TestFindOwner:
+    def test_root_entry_has_no_owner(self, loaded_tree):
+        assert find_owner(loaded_tree, loaded_tree.root_entry()) is None
+
+    def test_every_entry_is_found_in_its_node(self, loaded_tree):
+        stack = [loaded_tree.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.level == 0:
+                continue
+            node = loaded_tree.store.read(entry.page)
+            for child in node.entries:
+                assert find_owner(loaded_tree, child) == entry.page
+                stack.append(child)
+
+    def test_guard_owners_found(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(1500, 2, seed=5)):
+            tree.insert(p, i, replace=True)
+        assert tree.tree_stats().total_guards > 0
+        tree.check(check_owners=True)

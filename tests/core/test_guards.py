@@ -1,0 +1,91 @@
+"""Unit tests for guard sets (paper §3)."""
+
+import pytest
+
+from repro.errors import TreeInvariantError
+from repro.core.entry import Entry
+from repro.core.guards import GuardSet
+from repro.geometry.region import RegionKey
+
+
+def entry(bits: str, level: int = 0) -> Entry:
+    return Entry(RegionKey.from_bits(bits), level, 1)
+
+
+class TestMerge:
+    def test_keeps_longer_prefix(self):
+        guards = GuardSet()
+        short = entry("0")
+        long = entry("011")
+        guards.merge(short, 10)
+        guards.merge(long, 11)
+        assert guards.peek(0) == (long, 11)
+
+    def test_poorer_match_discarded_regardless_of_order(self):
+        guards = GuardSet()
+        long = entry("011")
+        guards.merge(long, 11)
+        guards.merge(entry("0"), 10)
+        assert guards.peek(0) == (long, 11)
+
+    def test_levels_are_independent(self):
+        guards = GuardSet()
+        g0 = entry("0", 0)
+        g1 = entry("01", 1)
+        guards.merge(g0, 1)
+        guards.merge(g1, 2)
+        assert guards.peek(0)[0] is g0
+        assert guards.peek(1)[0] is g1
+        assert len(guards) == 2
+
+    def test_disjoint_same_level_same_length_raises(self):
+        guards = GuardSet()
+        guards.merge(entry("01"), 1)
+        with pytest.raises(TreeInvariantError):
+            guards.merge(entry("10"), 2)
+
+    def test_same_entry_key_remerge_is_noop(self):
+        guards = GuardSet()
+        e = entry("01")
+        guards.merge(e, 1)
+        guards.merge(entry("01"), 2)  # equal key, equal length
+        assert guards.peek(0) == (e, 1)
+
+
+class TestConsume:
+    def test_consume_removes(self):
+        guards = GuardSet()
+        e = entry("0", 1)
+        guards.merge(e, 5)
+        assert guards.consume(1) == (e, 5)
+        assert guards.consume(1) is None
+        assert 1 not in guards
+
+    def test_consume_absent_level(self):
+        assert GuardSet().consume(3) is None
+
+
+class TestInspection:
+    def test_levels_sorted(self):
+        guards = GuardSet()
+        guards.merge(entry("0", 2), 1)
+        guards.merge(entry("0", 0), 1)
+        assert list(guards.levels()) == [0, 2]
+
+    def test_refs(self):
+        guards = GuardSet()
+        guards.merge(entry("0", 0), 7)
+        assert list(guards.refs())[0][1] == 7
+
+    def test_copy_is_independent(self):
+        guards = GuardSet()
+        guards.merge(entry("0", 0), 1)
+        clone = guards.copy()
+        clone.consume(0)
+        assert 0 in guards
+        assert 0 not in clone
+
+    def test_repr(self):
+        guards = GuardSet()
+        guards.merge(entry("01", 0), 1)
+        assert "01" in repr(guards)

@@ -1,0 +1,99 @@
+"""Tests for k-nearest-neighbour search."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GeometryError, ReproError
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from tests.conftest import make_points
+
+
+def brute_knn(points, query, k):
+    return sorted(
+        points,
+        key=lambda p: sum((a - b) ** 2 for a, b in zip(p, query)),
+    )[:k]
+
+
+class TestCorrectness:
+    def test_single_nearest(self, loaded_tree):
+        points = [p for p, _ in loaded_tree.items()]
+        rng = random.Random(101)
+        for _ in range(20):
+            q = (rng.random(), rng.random())
+            result = loaded_tree.nearest(q, k=1)
+            expected = brute_knn(points, q, 1)[0]
+            assert result.points()[0] == expected
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_k_nearest_matches_brute_force(self, loaded_tree, k):
+        points = [p for p, _ in loaded_tree.items()]
+        rng = random.Random(102)
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            result = loaded_tree.nearest(q, k=k)
+            got = result.points()
+            expected = brute_knn(points, q, k)
+            # Distances must agree (point sets can differ only on ties).
+            for a, b in zip(got, expected):
+                da = math.dist(a, q)
+                db = math.dist(b, q)
+                assert da == pytest.approx(db)
+
+    def test_distances_sorted_and_correct(self, loaded_tree):
+        q = (0.31, 0.62)
+        result = loaded_tree.nearest(q, k=8)
+        distances = [n.distance for n in result.neighbours]
+        assert distances == sorted(distances)
+        for n in result.neighbours:
+            assert n.distance == pytest.approx(math.dist(n.point, q))
+
+    def test_values_returned(self, small_tree):
+        small_tree.insert((0.5, 0.5), "centre")
+        small_tree.insert((0.9, 0.9), "corner")
+        result = small_tree.nearest((0.52, 0.52), k=1)
+        assert result.neighbours[0].value == "centre"
+
+    def test_k_exceeding_population(self, small_tree):
+        small_tree.insert((0.1, 0.1), 1)
+        small_tree.insert((0.2, 0.2), 2)
+        result = small_tree.nearest((0.0, 0.0), k=10)
+        assert len(result) == 2
+
+    def test_empty_tree(self, small_tree):
+        assert len(small_tree.nearest((0.5, 0.5), k=3)) == 0
+
+    def test_three_dimensions(self, unit3):
+        tree = BVTree(unit3, data_capacity=8, fanout=8)
+        points = list(dict.fromkeys(make_points(800, 3, seed=103)))
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        q = (0.4, 0.5, 0.6)
+        got = tree.nearest(q, k=5).points()
+        expected = brute_knn(points, q, 5)
+        assert [math.dist(p, q) for p in got] == pytest.approx(
+            [math.dist(p, q) for p in expected]
+        )
+
+
+class TestEfficiency:
+    def test_prunes_most_of_the_tree(self, unit2):
+        tree = BVTree(unit2, data_capacity=16, fanout=16)
+        for i, p in enumerate(make_points(8000, 2, seed=104)):
+            tree.insert(p, i, replace=True)
+        total_pages = tree.tree_stats().pages_total
+        result = tree.nearest((0.5, 0.5), k=3)
+        assert result.pages_visited < total_pages / 5
+
+
+class TestValidation:
+    def test_rejects_bad_k(self, small_tree):
+        with pytest.raises(ReproError):
+            small_tree.nearest((0.5, 0.5), k=0)
+
+    def test_rejects_dim_mismatch(self, small_tree):
+        with pytest.raises(GeometryError):
+            small_tree.nearest((0.5,), k=1)

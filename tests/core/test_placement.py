@@ -1,0 +1,130 @@
+"""Tests for canonical placement (shadowing, straddling, the walk)."""
+
+import pytest
+
+from repro.core.entry import Entry
+from repro.core.placement import (
+    canonical_encloser,
+    justified,
+    placement_walk,
+    shadowed,
+)
+from repro.core.node import IndexNode
+from repro.core.tree import BVTree
+from repro.geometry.region import RegionKey
+from tests.conftest import make_points
+
+
+def key(bits: str) -> RegionKey:
+    return RegionKey.from_bits(bits)
+
+
+@pytest.fixture
+def tree(unit2):
+    return BVTree(unit2, data_capacity=4, fanout=4)
+
+
+def register(tree, level, bits):
+    entry = Entry(key(bits), level, 0)
+    tree.register_entry(entry)
+    return entry
+
+
+class TestShadowed:
+    def test_no_keys_no_shadow(self, tree):
+        assert not shadowed(tree, 0, key("0"), key("0011"))
+
+    def test_between_key_shadows(self, tree):
+        register(tree, 0, "00")
+        assert shadowed(tree, 0, key("0"), key("0011"))
+
+    def test_upper_boundary_key_shadows(self, tree):
+        # u == t counts: a same-level key covering t's whole block.
+        register(tree, 0, "0011")
+        assert shadowed(tree, 0, key("0"), key("0011"))
+
+    def test_lower_boundary_key_does_not_shadow(self, tree):
+        register(tree, 0, "0")  # equals `lower` — not strictly between
+        assert not shadowed(tree, 0, key("0"), key("0011"))
+
+    def test_other_levels_do_not_shadow(self, tree):
+        register(tree, 1, "00")
+        assert not shadowed(tree, 0, key("0"), key("0011"))
+
+    def test_exclusion(self, tree):
+        register(tree, 0, "00")
+        assert not shadowed(
+            tree, 0, key("0"), key("0011"), exclude=frozenset({key("00")})
+        )
+
+
+class TestCanonicalEncloser:
+    def test_longest_prefix_wins(self, tree):
+        short = register(tree, 0, "0")
+        long = register(tree, 0, "001")
+        assert canonical_encloser(tree, 0, key("00110")) is long
+        assert canonical_encloser(tree, 0, key("01")) is short
+
+    def test_none_when_no_prefix(self, tree):
+        register(tree, 0, "1")
+        assert canonical_encloser(tree, 0, key("01")) is None
+
+    def test_self_is_not_its_own_encloser(self, tree):
+        register(tree, 0, "01")
+        assert canonical_encloser(tree, 0, key("01")) is None
+
+    def test_exclusion_falls_back(self, tree):
+        short = register(tree, 0, "0")
+        register(tree, 0, "001")
+        assert (
+            canonical_encloser(
+                tree, 0, key("00110"), exclude=frozenset({key("001")})
+            )
+            is short
+        )
+
+
+class TestJustified:
+    def test_straddling_guard_is_justified(self, tree):
+        node = IndexNode(2)
+        target = Entry(key("0011"), 1, 1)
+        node.add(target)
+        tree.register_entry(target)
+        probe = Entry(key("0"), 0, 2)
+        assert justified(tree, probe, node)
+
+    def test_shadowed_guard_is_not_justified(self, tree):
+        node = IndexNode(2)
+        target = Entry(key("0011"), 1, 1)
+        node.add(target)
+        tree.register_entry(target)
+        shadow = register(tree, 0, "001")
+        probe = Entry(key("0"), 0, 2)
+        assert not justified(tree, probe, node)
+
+    def test_no_targets_means_unjustified(self, tree):
+        node = IndexNode(2)
+        node.add(Entry(key("1"), 1, 1))
+        probe = Entry(key("0"), 0, 2)
+        assert not justified(tree, probe, node)
+
+
+class TestPlacementWalkIntegration:
+    def test_native_placement_in_real_tree(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(400, 2, seed=71)):
+            tree.insert(p, i, replace=True)
+        # Every stored entry must already sit where the walk would put it
+        # (placement is canonical and stable).
+        stack = [tree.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.level == 0:
+                continue
+            node = tree.store.read(entry.page)
+            for child in node.entries:
+                target, _ = placement_walk(tree, child.key, child.level)
+                assert target == entry.page, (
+                    f"{child!r} stored in {entry.page}, walk says {target}"
+                )
+                stack.append(child)

@@ -1,0 +1,89 @@
+"""Unit tests for capacity policies (§7 configurations)."""
+
+import pytest
+
+from repro.errors import TreeInvariantError
+from repro.core.entry import Entry
+from repro.core.node import IndexNode
+from repro.core.policy import CapacityPolicy
+from repro.geometry.region import RegionKey
+
+
+def node_with(index_level: int, natives: int, guards: int) -> IndexNode:
+    node = IndexNode(index_level)
+    for i in range(natives):
+        node.add(Entry(RegionKey(8, i), index_level - 1, i))
+    for i in range(guards):
+        node.add(Entry(RegionKey(8, 100 + i), 0, 100 + i))
+    return node
+
+
+class TestValidation:
+    def test_rejects_small_capacities(self):
+        with pytest.raises(TreeInvariantError):
+            CapacityPolicy(data_capacity=1)
+        with pytest.raises(TreeInvariantError):
+            CapacityPolicy(fanout=3)
+        with pytest.raises(TreeInvariantError):
+            CapacityPolicy(kind="bogus")
+        with pytest.raises(TreeInvariantError):
+            CapacityPolicy(page_bytes=0)
+
+
+class TestDataThresholds:
+    def test_overflow(self):
+        policy = CapacityPolicy(data_capacity=8)
+        assert not policy.data_overflows(8)
+        assert policy.data_overflows(9)
+
+    def test_underflow_uses_guaranteed_minimum(self):
+        policy = CapacityPolicy(data_capacity=12)
+        minimum = policy.min_data_occupancy()
+        assert minimum >= 12 // 3
+        assert policy.data_underflows(minimum - 1)
+        assert not policy.data_underflows(minimum)
+
+    def test_min_occupancy_near_one_third(self):
+        for capacity in (4, 8, 12, 16, 24, 100):
+            policy = CapacityPolicy(data_capacity=capacity)
+            minimum = policy.min_data_occupancy()
+            assert 1 <= minimum
+            assert minimum <= (capacity + 1) // 2
+            # The topological bound: within 1 of ceil((P+1)/3).
+            assert minimum >= -(-(capacity + 1) // 3) - 1
+
+
+class TestIndexThresholds:
+    def test_scaled_counts_only_natives(self):
+        policy = CapacityPolicy(fanout=4, kind="scaled")
+        assert not policy.index_overflows(node_with(3, 4, 10))
+        assert policy.index_overflows(node_with(3, 5, 0))
+
+    def test_uniform_counts_everything(self):
+        policy = CapacityPolicy(fanout=4, kind="uniform")
+        assert policy.index_overflows(node_with(3, 2, 3))
+        assert not policy.index_overflows(node_with(3, 2, 2))
+
+    def test_underflow_scaled(self):
+        policy = CapacityPolicy(fanout=12, kind="scaled")
+        minimum = policy.min_index_occupancy()
+        assert policy.index_underflows(node_with(2, minimum - 1, 0))
+        assert not policy.index_underflows(node_with(2, minimum, 0))
+
+
+class TestPageSizes:
+    def test_uniform_pages_constant(self):
+        policy = CapacityPolicy(kind="uniform", page_bytes=1000)
+        assert policy.index_node_bytes(1) == 1000
+        assert policy.index_node_bytes(5) == 1000
+        assert policy.size_class(5) == 1
+
+    def test_scaled_pages_grow_linearly(self):
+        # §7.3: "every page at index level x is of size B.x"
+        policy = CapacityPolicy(kind="scaled", page_bytes=1000)
+        assert policy.index_node_bytes(1) == 1000
+        assert policy.index_node_bytes(4) == 4000
+        assert policy.size_class(4) == 4
+
+    def test_repr(self):
+        assert "scaled" in repr(CapacityPolicy(kind="scaled"))

@@ -1,0 +1,103 @@
+"""Tests for range and partial-match queries."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from tests.conftest import make_points
+
+
+def brute_range(points, lows, highs):
+    return {
+        p
+        for p in points
+        if all(lo <= x < hi for x, lo, hi in zip(p, lows, highs))
+    }
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, loaded_tree):
+        points = {p for p, _ in loaded_tree.items()}
+        rng = random.Random(77)
+        for _ in range(25):
+            lows = tuple(rng.uniform(0, 0.8) for _ in range(2))
+            highs = tuple(lo + rng.uniform(0.05, 0.2) for lo in lows)
+            result = loaded_tree.range_query(lows, highs)
+            assert set(result.points()) == brute_range(points, lows, highs)
+
+    def test_whole_space_returns_everything(self, loaded_tree):
+        result = loaded_tree.range_query((0.0, 0.0), (1.0, 1.0))
+        assert len(result) == len(loaded_tree)
+
+    def test_empty_region_is_cheap(self, unit2):
+        from repro.workloads import clustered
+
+        tree = BVTree(unit2, data_capacity=8, fanout=8)
+        for i, p in enumerate(clustered(2000, 2, clusters=2, spread=0.01, seed=1)):
+            tree.insert(p, i, replace=True)
+        whole = tree.range_query((0.0, 0.0), (1.0, 1.0))
+        # A query over empty space touches almost nothing: the region set
+        # contracts to the occupied subspaces (§1).
+        centre = tree.range_query((0.45, 0.45), (0.55, 0.55))
+        if len(centre) == 0:
+            assert centre.pages_visited < whole.pages_visited / 4
+
+    def test_dimension_mismatch(self, loaded_tree):
+        with pytest.raises(GeometryError):
+            loaded_tree.range_query((0.0,), (1.0,))
+
+    def test_result_accessors(self, loaded_tree):
+        result = loaded_tree.range_query((0.0, 0.0), (0.5, 0.5))
+        assert len(result.points()) == len(result)
+        assert result.data_pages_visited <= result.pages_visited
+
+
+class TestPartialMatch:
+    def test_single_dimension_constraint(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        target_x = 0.372
+        expected = set()
+        for i in range(50):
+            y = i / 50
+            tree.insert((target_x, y), i, replace=True)
+            expected.add((target_x, y))
+        for p in make_points(200, 2, seed=41):
+            tree.insert(p, None, replace=True)
+        result = tree.partial_match({0: target_x})
+        assert expected <= set(result.points())
+        # Everything returned shares the constrained grid cell.
+        cell = 1 / (1 << tree.space.resolution)
+        for p in result.points():
+            assert abs(p[0] - target_x) <= cell
+
+    def test_symmetry_across_dimensions(self, unit3):
+        # The n-dimensional B-tree requirement (§1): any combination of
+        # m-of-n constrained attributes is served the same way.
+        tree = BVTree(unit3, data_capacity=6, fanout=6)
+        for i, p in enumerate(make_points(600, 3, seed=42)):
+            tree.insert(p, i, replace=True)
+        probe = (0.3, 0.6, 0.9)
+        costs = []
+        for dim in range(3):
+            result = tree.partial_match({dim: probe[dim]})
+            costs.append(result.pages_visited)
+        assert max(costs) <= 4 * max(min(costs), 1)
+
+    def test_all_dimensions_constrained_is_point_query(self, loaded_tree):
+        point, value = next(iter(loaded_tree.items()))
+        result = loaded_tree.partial_match({0: point[0], 1: point[1]})
+        assert (point, value) in result.records
+
+    def test_no_constraints_returns_all(self, loaded_tree):
+        assert len(loaded_tree.partial_match({})) == len(loaded_tree)
+
+    def test_unknown_dimension_rejected(self, loaded_tree):
+        with pytest.raises(GeometryError):
+            loaded_tree.partial_match({5: 0.3})
+
+    def test_constraint_outside_domain_rejected(self, loaded_tree):
+        with pytest.raises(GeometryError):
+            loaded_tree.partial_match({0: 1.7})

@@ -1,0 +1,70 @@
+"""Tests for the tree renderings."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.core.render import render_partition, render_tree
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from tests.conftest import make_points
+
+
+class TestRenderTree:
+    def test_empty_tree(self, small_tree):
+        text = render_tree(small_tree)
+        assert "data page" in text
+        assert "0 record(s)" in text
+
+    def test_all_pages_listed(self, loaded_tree):
+        text = render_tree(loaded_tree)
+        stats = loaded_tree.tree_stats()
+        assert text.count("data page") == stats.data_pages
+        assert text.count("index node") == stats.index_nodes
+
+    def test_guards_marked(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(1200, 2, seed=111)):
+            tree.insert(p, i, replace=True)
+        assert tree.tree_stats().total_guards > 0
+        assert "* guard:" in render_tree(tree)
+
+    def test_depth_cap(self, loaded_tree):
+        text = render_tree(loaded_tree, max_depth=1)
+        assert "…" in text
+        assert len(text.splitlines()) < len(render_tree(loaded_tree).splitlines())
+
+    def test_root_key_shown_as_epsilon(self, small_tree):
+        assert "'ε'" in render_tree(small_tree)
+
+
+class TestRenderPartition:
+    def test_raster_dimensions(self, loaded_tree):
+        text = render_partition(loaded_tree, width=20, height=8)
+        rows = text.splitlines()
+        assert len(rows) == 9  # 8 raster rows + legend
+        assert all(len(row) == 20 for row in rows[:8])
+
+    def test_single_page_is_uniform(self, small_tree):
+        small_tree.insert((0.5, 0.5), 1)
+        text = render_partition(small_tree, width=10, height=4)
+        raster = set("".join(text.splitlines()[:4]))
+        assert len(raster) == 1
+
+    def test_every_page_appears(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=8)
+        for i, p in enumerate(make_points(60, 2, seed=112)):
+            tree.insert(p, i, replace=True)
+        text = render_partition(tree, width=64, height=32)
+        raster = set("".join(text.splitlines()[:32]))
+        # Every data page should own at least one raster cell at this
+        # resolution for a 60-point tree.
+        assert len(raster) == tree.tree_stats().data_pages
+
+    def test_legend_present(self, loaded_tree):
+        text = render_partition(loaded_tree, width=16, height=6)
+        assert "page" in text.splitlines()[-1]
+
+    def test_rejects_non_2d(self, unit3):
+        tree = BVTree(unit3, data_capacity=4, fanout=4)
+        with pytest.raises(GeometryError):
+            render_partition(tree)

@@ -1,0 +1,123 @@
+"""Tests for the §8 spatial-object extension."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError, KeyNotFoundError
+from repro.core.spatial import SpatialIndex
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+
+
+@pytest.fixture
+def index(unit2):
+    return SpatialIndex(unit2, max_depth=16)
+
+
+def random_rects(n, rng, max_side=0.2):
+    out = []
+    for _ in range(n):
+        lows = (rng.uniform(0, 0.8), rng.uniform(0, 0.8))
+        sides = (rng.uniform(0.001, max_side), rng.uniform(0.001, max_side))
+        out.append(Rect(lows, (lows[0] + sides[0], lows[1] + sides[1])))
+    return out
+
+
+class TestEnclosingBlock:
+    def test_tiny_rect_gets_deep_block(self, index):
+        block = index.enclosing_block(Rect((0.1, 0.1), (0.1001, 0.1001)))
+        assert block.nbits > 8
+
+    def test_rect_straddling_centre_gets_root(self, index):
+        block = index.enclosing_block(Rect((0.4, 0.4), (0.6, 0.6)))
+        assert block.nbits == 0
+
+    def test_block_contains_rect(self, index, rng):
+        for rect in random_rects(50, rng):
+            block = index.enclosing_block(rect)
+            assert index.space.key_rect(block).contains_rect(rect)
+
+    def test_objects_never_split(self, index, rng):
+        # The point of the representation (§1's critique of R+/Z-order).
+        for rect in random_rects(50, rng):
+            block = index.enclosing_block(rect)
+            block_rect = index.space.key_rect(block)
+            assert block_rect.contains_rect(rect)
+
+    def test_rejects_out_of_space(self, index):
+        with pytest.raises(GeometryError):
+            index.enclosing_block(Rect((0.5, 0.5), (1.5, 1.5)))
+
+    def test_rejects_dim_mismatch(self, index):
+        with pytest.raises(GeometryError):
+            index.enclosing_block(Rect((0.1,), (0.2,)))
+
+
+class TestQueries:
+    def test_intersection_matches_brute_force(self, index, rng):
+        rects = random_rects(200, rng)
+        for i, rect in enumerate(rects):
+            index.insert(rect, i)
+        for _ in range(20):
+            q = random_rects(1, rng, max_side=0.3)[0]
+            got = {v for _, v in index.intersecting(q)}
+            expected = {i for i, r in enumerate(rects) if r.intersects(q)}
+            assert got == expected
+
+    def test_stabbing_query(self, index, rng):
+        rects = random_rects(200, rng)
+        for i, rect in enumerate(rects):
+            index.insert(rect, i)
+        for _ in range(20):
+            p = (rng.random(), rng.random())
+            got = {v for _, v in index.containing_point(p)}
+            expected = {i for i, r in enumerate(rects) if r.contains_point(p)}
+            assert got == expected
+
+    def test_duplicates_allowed(self, index):
+        r = Rect((0.1, 0.1), (0.2, 0.2))
+        index.insert(r, "a")
+        index.insert(r, "b")
+        assert len(index) == 2
+        got = sorted(v for _, v in index.intersecting(r))
+        assert got == ["a", "b"]
+
+
+class TestDeletion:
+    def test_delete_specific_object(self, index):
+        r = Rect((0.1, 0.1), (0.2, 0.2))
+        index.insert(r, "a")
+        index.insert(r, "b")
+        index.delete(r, "a")
+        assert [v for _, v in index.intersecting(r)] == ["b"]
+        assert len(index) == 1
+
+    def test_delete_missing_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.delete(Rect((0.1, 0.1), (0.2, 0.2)), "x")
+
+    def test_delete_cleans_trie(self, index, rng):
+        rects = random_rects(100, rng)
+        for i, rect in enumerate(rects):
+            index.insert(rect, i)
+        for i, rect in enumerate(rects):
+            index.delete(rect, i)
+        assert len(index) == 0
+        assert index._weights == {}
+        assert index._buckets == {}
+
+    def test_insert_delete_interleaved(self, index, rng):
+        live = {}
+        for step in range(500):
+            if live and rng.random() < 0.5:
+                key_ = rng.choice(list(live))
+                index.delete(*key_)
+                del live[key_]
+            else:
+                rect = random_rects(1, rng)[0]
+                index.insert(rect, step)
+                live[(rect, step)] = True
+        assert len(index) == len(live)
+        q = Rect((0.0, 0.0), (1.0, 1.0))
+        assert len(list(index.intersecting(q))) == len(live)

@@ -1,0 +1,67 @@
+"""Tests for tree statistics collection."""
+
+from repro.core.stats import OpCounters, collect
+from repro.core.tree import BVTree
+from tests.conftest import make_points
+
+
+class TestOpCounters:
+    def test_reset(self):
+        counters = OpCounters(data_splits=3, promotions=2)
+        counters.reset()
+        assert counters.data_splits == 0
+        assert counters.promotions == 0
+
+
+class TestCollect:
+    def test_empty_tree(self, small_tree):
+        stats = collect(small_tree)
+        assert stats.height == 0
+        assert stats.n_points == 0
+        assert stats.data_pages == 1
+        assert stats.index_nodes == 0
+        assert stats.total_guards == 0
+        assert stats.pages_total == 1
+
+    def test_counts_match_store(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(make_points(500, 2, seed=61)):
+            tree.insert(p, i, replace=True)
+        stats = collect(tree)
+        assert stats.n_points == len(tree)
+        assert stats.data_pages + stats.index_nodes == tree.store.live_pages()
+        assert sum(stats.index_nodes_by_level.values()) == stats.index_nodes
+        assert sum(stats.guards_by_level.values()) == stats.total_guards
+        assert sum(stats.data_occupancies) == len(tree)
+
+    def test_occupancy_summaries(self, unit2):
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        for i, p in enumerate(make_points(600, 2, seed=62)):
+            tree.insert(p, i, replace=True)
+        stats = collect(tree)
+        assert stats.min_data_occupancy == min(stats.data_occupancies)
+        assert 0.0 < stats.avg_data_occupancy <= 1.0
+        assert 0.0 < stats.avg_index_occupancy
+        assert stats.min_index_occupancy == min(stats.index_occupancies)
+
+    def test_index_bytes_scaled_policy(self, unit2):
+        tree = BVTree(
+            unit2, data_capacity=4, fanout=4, policy="scaled", page_bytes=100
+        )
+        for i, p in enumerate(make_points(500, 2, seed=63)):
+            tree.insert(p, i, replace=True)
+        stats = collect(tree)
+        # Level-x nodes cost 100*x bytes; total must exceed flat pricing
+        # whenever any node sits above level 1.
+        if any(level > 1 for level in stats.index_nodes_by_level):
+            assert stats.index_bytes > stats.index_nodes * 100
+        assert stats.data_bytes == stats.data_pages * 100
+
+    def test_index_bytes_uniform_policy(self, unit2):
+        tree = BVTree(
+            unit2, data_capacity=4, fanout=4, policy="uniform", page_bytes=100
+        )
+        for i, p in enumerate(make_points(500, 2, seed=63)):
+            tree.insert(p, i, replace=True)
+        stats = collect(tree)
+        assert stats.index_bytes == stats.index_nodes * 100

@@ -1,0 +1,159 @@
+"""Behavioural tests for the public BVTree API."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    GeometryError,
+    KeyNotFoundError,
+    OutOfSpaceError,
+)
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from repro.storage.pager import PageStore
+from tests.conftest import make_points
+
+
+class TestBasicOperations:
+    def test_insert_get(self, small_tree):
+        small_tree.insert((0.1, 0.2), "a")
+        small_tree.insert((0.8, 0.9), "b")
+        assert small_tree.get((0.1, 0.2)) == "a"
+        assert small_tree.get((0.8, 0.9)) == "b"
+        assert len(small_tree) == 2
+
+    def test_get_missing(self, small_tree):
+        with pytest.raises(KeyNotFoundError):
+            small_tree.get((0.5, 0.5))
+
+    def test_contains(self, small_tree):
+        small_tree.insert((0.3, 0.3), 1)
+        assert small_tree.contains((0.3, 0.3))
+        assert (0.3, 0.3) in small_tree
+        assert (0.4, 0.4) not in small_tree
+
+    def test_duplicate_point_raises(self, small_tree):
+        small_tree.insert((0.5, 0.5), 1)
+        with pytest.raises(DuplicateKeyError):
+            small_tree.insert((0.5, 0.5), 2)
+
+    def test_replace(self, small_tree):
+        small_tree.insert((0.5, 0.5), 1)
+        small_tree.insert((0.5, 0.5), 2, replace=True)
+        assert small_tree.get((0.5, 0.5)) == 2
+        assert len(small_tree) == 1
+
+    def test_grid_duplicates_are_the_same_key(self, unit2):
+        # Two points identical at the space's resolution are one key.
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        tree.insert((0.5, 0.5), 1)
+        eps = 2.0**-30  # far below 16-bit resolution
+        with pytest.raises(DuplicateKeyError):
+            tree.insert((0.5 + eps, 0.5), 2)
+
+    def test_point_outside_space(self, small_tree):
+        with pytest.raises(OutOfSpaceError):
+            small_tree.insert((1.5, 0.5), 1)
+
+    def test_value_defaults_to_none(self, small_tree):
+        small_tree.insert((0.2, 0.2))
+        assert small_tree.get((0.2, 0.2)) is None
+
+    def test_one_dimensional(self):
+        tree = BVTree(DataSpace.unit(1, resolution=20), data_capacity=4, fanout=4)
+        for i in range(100):
+            tree.insert((i / 100,), i)
+        assert tree.get((0.42,)) == 42
+        tree.check(sample_points=20)
+
+
+class TestGrowth:
+    def test_height_grows_logarithmically(self, unit2):
+        tree = BVTree(unit2, data_capacity=8, fanout=8)
+        for i, p in enumerate(make_points(2000, 2)):
+            tree.insert(p, i, replace=True)
+        assert 2 <= tree.height <= 5
+        tree.check(sample_points=50, check_owners=True)
+
+    def test_items_returns_everything(self, small_tree):
+        points = make_points(100, 2, seed=1)
+        for i, p in enumerate(points):
+            small_tree.insert(p, i, replace=True)
+        collected = dict(small_tree.items())
+        assert len(collected) == len(small_tree)
+        for p, i in collected.items():
+            assert small_tree.get(p) == i
+
+    def test_search_path_length_equals_height_plus_one(self, loaded_tree):
+        # Paper §6: the defining property of the BV-tree.
+        for p in make_points(50, 2, seed=9):
+            result = loaded_tree.search(p)
+            assert result.nodes_visited == loaded_tree.height + 1
+
+    def test_guard_set_bounded_by_height(self, loaded_tree):
+        for p in make_points(50, 2, seed=10):
+            result = loaded_tree.search(p)
+            assert result.max_guard_set <= max(loaded_tree.height - 1, 0)
+
+    def test_shared_store(self, unit2):
+        store = PageStore(2048)
+        a = BVTree(unit2, data_capacity=4, fanout=4, store=store)
+        b = BVTree(unit2, data_capacity=4, fanout=4, store=store)
+        for i, p in enumerate(make_points(50, 2)):
+            a.insert(p, i, replace=True)
+            b.insert(p, -i, replace=True)
+        assert store.live_pages() >= 2
+        a.check()
+        b.check()
+
+    def test_repr(self, small_tree):
+        assert "BVTree" in repr(small_tree)
+
+
+class TestPolicyVariants:
+    @pytest.mark.parametrize("policy", ["uniform", "scaled"])
+    def test_both_policies_build_correct_trees(self, unit2, policy):
+        tree = BVTree(unit2, data_capacity=6, fanout=6, policy=policy)
+        points = make_points(800, 2, seed=4)
+        for i, p in enumerate(points):
+            tree.insert(p, i, replace=True)
+        tree.check(sample_points=50, check_owners=True)
+        for i, p in enumerate(points[:100]):
+            assert tree.get(p) == i
+
+    def test_scaled_pages_accounted_larger(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4, policy="scaled",
+                      page_bytes=512)
+        for i, p in enumerate(make_points(400, 2, seed=2)):
+            tree.insert(p, i, replace=True)
+        classes = tree.store.class_stats()
+        assert classes[1].page_bytes == 512
+        if 2 in classes:
+            assert classes[2].page_bytes == 1024
+
+
+class TestDimensionality:
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4, 5])
+    def test_every_dimensionality(self, ndim):
+        space = DataSpace.unit(ndim, resolution=12)
+        tree = BVTree(space, data_capacity=6, fanout=6)
+        points = make_points(300, ndim, seed=ndim)
+        for i, p in enumerate(points):
+            tree.insert(p, i, replace=True)
+        tree.check(sample_points=30)
+        found = sum(tree.contains(p) for p in points)
+        assert found == len(points)  # replace=True keeps last value
+
+    def test_non_unit_bounds(self):
+        space = DataSpace([(-100.0, 100.0), (0.0, 1e6)], resolution=16)
+        tree = BVTree(space, data_capacity=6, fanout=6)
+        import random
+
+        r = random.Random(3)
+        pts = [(r.uniform(-100, 100), r.uniform(0, 1e6)) for _ in range(300)]
+        for i, p in enumerate(pts):
+            tree.insert(p, i, replace=True)
+        tree.check(sample_points=30)
+        res = tree.range_query((-50.0, 0.0), (50.0, 5e5))
+        expected = [p for p in set(pts) if -50 <= p[0] < 50 and p[1] < 5e5]
+        assert len(res) == len(expected)

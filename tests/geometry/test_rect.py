@@ -1,0 +1,125 @@
+"""Unit tests for axis-aligned rectangles."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.rect import Rect
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect((0.0, 0.0), (1.0, 2.0))
+        assert r.ndim == 2
+        assert r.lows == (0.0, 0.0)
+        assert r.highs == (1.0, 2.0)
+
+    def test_coerces_to_float(self):
+        r = Rect((0, 1), (2, 3))
+        assert all(isinstance(v, float) for v in r.lows + r.highs)
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Rect((0.0,), (1.0, 2.0))
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(GeometryError):
+            Rect((0.0, 0.5), (1.0, 0.5))
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(GeometryError):
+            Rect((1.0,), (0.0,))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_immutable(self):
+        r = Rect((0.0,), (1.0,))
+        with pytest.raises(AttributeError):
+            r.lows = (0.5,)
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert r.contains_point((0.5, 0.5))
+
+    def test_low_edge_included(self):
+        r = Rect((0.0,), (1.0,))
+        assert r.contains_point((0.0,))
+
+    def test_high_edge_excluded(self):
+        r = Rect((0.0,), (1.0,))
+        assert not r.contains_point((1.0,))
+
+    def test_outside(self):
+        r = Rect((0.0, 0.0), (1.0, 1.0))
+        assert not r.contains_point((1.5, 0.5))
+
+    def test_dim_mismatch(self):
+        r = Rect((0.0,), (1.0,))
+        with pytest.raises(DimensionMismatchError):
+            r.contains_point((0.5, 0.5))
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect((1.0, 1.0), (2.0, 2.0))
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Rect((0.0,), (1.0,))
+        b = Rect((1.0,), (2.0,))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_nested(self):
+        outer = Rect((0.0, 0.0), (4.0, 4.0))
+        inner = Rect((1.0, 1.0), (2.0, 2.0))
+        assert outer.intersects(inner)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.intersection(inner) == inner
+
+    def test_self_containment(self):
+        r = Rect((0.0,), (1.0,))
+        assert r.contains_rect(r)
+
+    def test_disjoint(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((2.0, 2.0), (3.0, 3.0))
+        assert not a.intersects(b)
+
+    def test_dim_mismatch(self):
+        a = Rect((0.0,), (1.0,))
+        b = Rect((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(DimensionMismatchError):
+            a.intersects(b)
+
+
+class TestMeasures:
+    def test_volume(self):
+        assert Rect((0.0, 0.0), (2.0, 3.0)).volume() == pytest.approx(6.0)
+
+    def test_sides(self):
+        assert list(Rect((0.0, 1.0), (2.0, 4.0)).sides()) == [2.0, 3.0]
+
+    def test_center(self):
+        assert Rect((0.0, 0.0), (2.0, 4.0)).center() == (1.0, 2.0)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Rect((0.0,), (1.0,))
+        b = Rect((0.0,), (1.0,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rect((0.0,), (2.0,))
+
+    def test_not_equal_other_type(self):
+        assert Rect((0.0,), (1.0,)) != "rect"
+
+    def test_repr(self):
+        assert "[0," in repr(Rect((0.0,), (1.0,))).replace(" ", "")

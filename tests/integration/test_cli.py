@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFigures:
+    def test_figure_7_1(self, capsys):
+        assert main(["figures", "--fanout", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "F = 24" in out
+        assert "worst-case height" in out
+
+    def test_integer_variant(self, capsys):
+        assert main(["figures", "--fanout", "24", "--integer"]) == 0
+        assert "F = 24" in capsys.readouterr().out
+
+
+class TestThresholds:
+    def test_default(self, capsys):
+        assert main(["thresholds"]) == 0
+        out = capsys.readouterr().out
+        assert "GB" in out
+        assert "24" in out and "120" in out
+
+    def test_custom_page_size(self, capsys):
+        assert main(["thresholds", "--fanouts", "60", "--page-bytes", "4096"]) == 0
+        assert "4096" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs_and_verifies(self, capsys):
+        assert main(
+            ["demo", "--workload", "clustered", "--n", "2000", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "invariants verified" in out
+        assert "records" in out
+
+    def test_demo_uniform_policy(self, capsys):
+        assert main(
+            ["demo", "--n", "1500", "--policy", "uniform", "--dims", "3"]
+        ) == 0
+        assert "uniform pages" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_two_structures(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--n", "2000",
+                "--structures", "bv", "kdb",
+                "--data-capacity", "8",
+                "--fanout", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bv" in out and "kdb" in out
+        assert "forced splits" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--workload", "bogus"])

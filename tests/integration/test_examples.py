@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are part of the public surface (README points users at them),
+so a broken example is a broken deliverable.  Each runs in-process via
+``runpy``; the scripts' internal assertions double as checks.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "geo_points",
+        "partial_match",
+        "worst_case_analysis",
+        "adversarial_demo",
+        "spatial_objects",
+        "nearest_neighbor",
+    } <= names

@@ -1,0 +1,78 @@
+"""Soak test: a long mixed workload with continuous verification.
+
+A single sustained session — growth, churn, shrink, regrowth — with the
+full invariant checker (owners included) run at phase boundaries and all
+query paths exercised against a model.  This is the closest the suite
+comes to production traffic.
+"""
+
+import random
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+
+
+def test_lifecycle_soak():
+    space = DataSpace.unit(2, resolution=14)
+    tree = BVTree(space, data_capacity=6, fanout=6)
+    rng = random.Random(0xC0FFEE)
+    model: dict[int, tuple[tuple[float, float], int]] = {}
+
+    def fresh_point():
+        # Quantised to the resolution so model keys equal index keys.
+        return (
+            int(rng.random() * 2**14) / 2**14,
+            int(rng.random() * 2**14) / 2**14,
+        )
+
+    def verify(sample: int = 150):
+        assert len(tree) == len(model)
+        for path, (point, value) in list(model.items())[:sample]:
+            assert tree.get(point) == value
+        tree.check(
+            sample_points=50, check_owners=True, check_occupancy=False
+        )
+
+    def do_insert(step: int) -> None:
+        point = fresh_point()
+        path = space.point_path(point)
+        tree.insert(point, step, replace=True)
+        model[path] = (point, step)
+
+    def do_delete() -> None:
+        path = rng.choice(list(model))
+        point, value = model.pop(path)
+        assert tree.delete(point) == value
+
+    # Phase 1: pure growth.
+    for step in range(4000):
+        do_insert(step)
+    verify()
+    grown_height = tree.height
+    assert grown_height >= 3
+
+    # Phase 2: heavy churn around a steady state.
+    for step in range(4000, 10000):
+        if model and rng.random() < 0.5:
+            do_delete()
+        else:
+            do_insert(step)
+        if step % 2000 == 0:
+            verify()
+    verify()
+
+    # Phase 3: drain to (nearly) nothing.
+    while len(model) > 25:
+        do_delete()
+    verify()
+    assert tree.height <= grown_height
+
+    # Phase 4: regrow and final audit.
+    for step in range(10000, 13000):
+        do_insert(step)
+    verify()
+    stats = tree.tree_stats()
+    assert stats.min_data_occupancy >= 1
+    # Every search still costs exactly height + 1 pages.
+    for path, (point, _) in list(model.items())[:100]:
+        assert tree.search(point).nodes_visited == tree.height + 1

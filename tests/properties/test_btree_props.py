@@ -1,0 +1,59 @@
+"""Property-based tests for the B+-tree baseline against a sorted model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.baselines.btree import BPlusTree
+
+KEY = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+@st.composite
+def op_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=150))
+    return [
+        (draw(st.sampled_from(["insert", "insert", "delete"])), draw(KEY))
+        for _ in range(n)
+    ]
+
+
+class TestAgainstModel:
+    @given(op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        model: dict[int, int] = {}
+        for i, (kind, k) in enumerate(ops):
+            if kind == "insert":
+                tree.insert(k, i, replace=True)
+                model[k] = i
+            elif k in model:
+                assert tree.delete(k) == model.pop(k)
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    tree.delete(k)
+        tree.check()
+        assert [k for k, _ in tree.items()] == sorted(model)
+        for k, v in model.items():
+            assert tree.get(k) == v
+
+    @given(st.lists(KEY, unique=True, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_range_scan_equals_filter(self, keys):
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        for k in keys:
+            tree.insert(k, k)
+        lo, hi = -1000, 1000
+        records, _ = tree.range_scan(lo, hi)
+        assert [k for k, _ in records] == sorted(k for k in keys if lo <= k < hi)
+
+    @given(st.lists(KEY, unique=True, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_after_bulk_load(self, keys):
+        tree = BPlusTree(leaf_capacity=6, fanout=6)
+        for k in keys:
+            tree.insert(k, None)
+        leaves, _ = tree.node_occupancies()
+        if len(leaves) > 1:
+            assert min(leaves) >= 3

@@ -1,0 +1,104 @@
+"""Property-based tests: the BV-tree against a model dict, invariants on.
+
+Hypothesis drives random operation sequences against a plain-dict model;
+after every sequence the full invariant checker runs (including the
+single-descent owner property), and every surviving record must be
+re-found through the public search path — which also re-verifies the
+``height + 1`` page-access law on every lookup.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+
+COORD = st.integers(min_value=0, max_value=(1 << 10) - 1)
+
+
+def to_point(cell: tuple[int, int]) -> tuple[float, float]:
+    return (cell[0] / 1024, cell[1] / 1024)
+
+
+@st.composite
+def operations(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["insert", "insert", "insert", "delete"]))
+        cell = (draw(COORD), draw(COORD))
+        ops.append((kind, cell))
+    return ops
+
+
+class TestAgainstModel:
+    @given(operations())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_matches_dict_model(self, ops):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4)
+        model: dict[tuple[int, int], int] = {}
+        for i, (kind, cell) in enumerate(ops):
+            point = to_point(cell)
+            if kind == "insert":
+                tree.insert(point, i, replace=True)
+                model[cell] = i
+            elif cell in model:
+                assert tree.delete(point) == model.pop(cell)
+            else:
+                from repro.errors import KeyNotFoundError
+                import pytest
+
+                with pytest.raises(KeyNotFoundError):
+                    tree.delete(point)
+        assert len(tree) == len(model)
+        for cell, value in model.items():
+            assert tree.get(to_point(cell)) == value
+        tree.check(
+            sample_points=len(model),
+            check_owners=True,
+            check_occupancy=False,
+        )
+
+    @given(st.lists(st.tuples(COORD, COORD), min_size=1, max_size=150, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_only_occupancy_and_registry(self, cells):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=5)
+        for i, cell in enumerate(cells):
+            tree.insert(to_point(cell), i, replace=True)
+        tree.check(
+            sample_points=len(cells), check_owners=True, check_occupancy=True
+        )
+
+    @given(st.lists(st.tuples(COORD, COORD), min_size=5, max_size=80, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_range_query_equals_filter(self, cells):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4)
+        for i, cell in enumerate(cells):
+            tree.insert(to_point(cell), i, replace=True)
+        lows, highs = (0.25, 0.25), (0.75, 0.75)
+        got = set(tree.range_query(lows, highs).points())
+        expected = {
+            to_point(c)
+            for c in cells
+            if lows[0] <= to_point(c)[0] < highs[0]
+            and lows[1] <= to_point(c)[1] < highs[1]
+        }
+        assert got == expected
+
+    @given(st.lists(st.tuples(COORD, COORD), min_size=1, max_size=100, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_delete_everything_leaves_empty_tree(self, cells):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4)
+        for i, cell in enumerate(cells):
+            tree.insert(to_point(cell), i, replace=True)
+        for cell in cells:
+            tree.delete(to_point(cell))
+        assert len(tree) == 0
+        tree.check(check_occupancy=False)

@@ -1,0 +1,93 @@
+"""Property-based tests for region keys (the geometric foundation)."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.geometry.space import DataSpace
+
+
+@st.composite
+def region_keys(draw, max_bits: int = 24):
+    nbits = draw(st.integers(min_value=0, max_value=max_bits))
+    value = draw(st.integers(min_value=0, max_value=(1 << nbits) - 1))
+    return RegionKey(nbits, value)
+
+
+@st.composite
+def key_pairs(draw):
+    return draw(region_keys()), draw(region_keys())
+
+
+class TestPrefixAlgebra:
+    @given(key_pairs())
+    def test_nested_or_disjoint(self, pair):
+        # The heart of "partition boundaries never intersect".
+        a, b = pair
+        assert a.is_prefix_of(b) or b.is_prefix_of(a) or a.disjoint(b)
+
+    @given(region_keys())
+    def test_root_prefixes_everything(self, k):
+        assert ROOT_KEY.is_prefix_of(k)
+
+    @given(region_keys())
+    def test_self_prefix_reflexive(self, k):
+        assert k.is_prefix_of(k)
+        assert not k.encloses(k)
+        assert not k.disjoint(k)
+
+    @given(key_pairs())
+    def test_prefix_antisymmetry(self, pair):
+        a, b = pair
+        if a.is_prefix_of(b) and b.is_prefix_of(a):
+            assert a == b
+
+    @given(key_pairs())
+    def test_common_prefix_is_shared_prefix(self, pair):
+        a, b = pair
+        c = a.common_prefix(b)
+        assert c.is_prefix_of(a) and c.is_prefix_of(b)
+        # and it is the longest such: extending by either next bit fails
+        if c.nbits < min(a.nbits, b.nbits):
+            assert a.bit(c.nbits) != b.bit(c.nbits)
+
+    @given(region_keys(max_bits=23))
+    def test_children_partition_parent(self, k):
+        c0, c1 = k.child(0), k.child(1)
+        assert k.encloses(c0) and k.encloses(c1)
+        assert c0.disjoint(c1)
+        assert c0.sibling() == c1
+        assert c0.parent() == k
+
+    @given(key_pairs())
+    def test_order_consistent_with_prefix(self, pair):
+        a, b = pair
+        if a.encloses(b):
+            assert a < b  # a prefix sorts before its extensions
+
+    @given(st.lists(region_keys(), min_size=1, max_size=30))
+    def test_sort_is_total_and_stable(self, keys):
+        ordered = sorted(keys)
+        assert sorted(ordered) == ordered
+        assert len(ordered) == len(keys)
+
+
+class TestPathContainment:
+    @given(region_keys(max_bits=16), st.integers(min_value=0))
+    def test_key_contains_its_extensions(self, k, extra_bits):
+        extra = extra_bits % (1 << 8)
+        path = (k.value << 8) | extra
+        assert k.contains_path(path, k.nbits + 8)
+
+    @given(key_pairs())
+    def test_block_geometry_matches_prefix_relation(self, pair):
+        a, b = pair
+        space = DataSpace.unit(2, resolution=12)
+        if a.nbits > space.path_bits or b.nbits > space.path_bits:
+            return
+        ra, rb = space.key_rect(a), space.key_rect(b)
+        if a.is_prefix_of(b):
+            assert ra.contains_rect(rb)
+        elif b.is_prefix_of(a):
+            assert rb.contains_rect(ra)
+        else:
+            assert not ra.intersects(rb)

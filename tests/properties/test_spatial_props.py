@@ -1,0 +1,85 @@
+"""Property-based tests for the spatial index and Z-interval decomposition."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spatial import SpatialIndex
+from repro.baselines.zbtree import ZOrderBTree
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+
+COORD = st.floats(min_value=0.0, max_value=0.9375, allow_nan=False, width=32)
+SIDE = st.floats(min_value=0.000244140625, max_value=0.03125, allow_nan=False, width=32)
+
+
+@st.composite
+def rects(draw):
+    x, y = draw(COORD), draw(COORD)
+    w, h = draw(SIDE), draw(SIDE)
+    return Rect((x, y), (min(x + w, 0.999), min(y + h, 0.999)))
+
+
+class TestSpatialIndexProperties:
+    @given(st.lists(rects(), min_size=1, max_size=60), rects())
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_matches_brute_force(self, objects, query):
+        space = DataSpace.unit(2, resolution=16)
+        index = SpatialIndex(space)
+        for i, rect in enumerate(objects):
+            index.insert(rect, i)
+        got = {v for _, v in index.intersecting(query)}
+        expected = {i for i, r in enumerate(objects) if r.intersects(query)}
+        assert got == expected
+
+    @given(st.lists(rects(), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_enclosing_block_contains_object(self, objects):
+        space = DataSpace.unit(2, resolution=16)
+        index = SpatialIndex(space)
+        for rect in objects:
+            block = index.enclosing_block(rect)
+            assert space.key_rect(block).contains_rect(rect)
+
+    @given(st.lists(rects(), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_delete_returns_to_empty(self, objects):
+        space = DataSpace.unit(2, resolution=16)
+        index = SpatialIndex(space)
+        for i, rect in enumerate(objects):
+            index.insert(rect, i)
+        for i, rect in enumerate(objects):
+            index.delete(rect, i)
+        assert len(index) == 0
+        assert not index._buckets
+        assert not index._weights
+
+
+class TestZIntervalProperties:
+    @given(rects())
+    @settings(max_examples=80, deadline=None)
+    def test_intervals_cover_the_box(self, query):
+        space = DataSpace.unit(2, resolution=12)
+        zb = ZOrderBTree(space, max_intervals=32)
+        intervals = zb.z_intervals(query)
+        # Every grid cell inside the box must fall in some interval.
+        import random
+
+        rng = random.Random(4)
+        for _ in range(30):
+            p = (
+                rng.uniform(query.lows[0], query.highs[0] - 1e-9),
+                rng.uniform(query.lows[1], query.highs[1] - 1e-9),
+            )
+            code = space.point_path(p)
+            assert any(lo <= code <= hi for lo, hi in intervals)
+
+    @given(rects())
+    @settings(max_examples=80, deadline=None)
+    def test_intervals_sorted_disjoint(self, query):
+        space = DataSpace.unit(2, resolution=12)
+        zb = ZOrderBTree(space, max_intervals=32)
+        intervals = zb.z_intervals(query)
+        assert intervals == sorted(intervals)
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 < b0
+        for lo, hi in intervals:
+            assert lo <= hi

@@ -1,0 +1,57 @@
+"""Property-based tests for the balanced binary split guarantee."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.split import choose_split, split_candidates
+from repro.geometry.region import ROOT_KEY
+
+PATH_BITS = 24
+
+
+@st.composite
+def path_populations(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    paths = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << PATH_BITS) - 1),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return [(p, PATH_BITS) for p in paths]
+
+
+class TestBalanceGuarantee:
+    @given(path_populations())
+    @settings(max_examples=200)
+    def test_both_sides_nonempty(self, items):
+        best = choose_split(ROOT_KEY, items)
+        inside = sum(1 for p, b in items if best.contains_path(p, b))
+        assert 1 <= inside <= len(items) - 1
+
+    @given(path_populations())
+    @settings(max_examples=200)
+    def test_one_third_guarantee(self, items):
+        # The [LS89] bound the paper's occupancy guarantee rests on.
+        best = choose_split(ROOT_KEY, items)
+        inside = sum(1 for p, b in items if best.contains_path(p, b))
+        outside = len(items) - inside
+        floor = max(1, len(items) // 3 - 1)
+        assert min(inside, outside) >= floor
+
+    @given(path_populations())
+    @settings(max_examples=100)
+    def test_split_key_nonempty_and_partitions(self, items):
+        best = choose_split(ROOT_KEY, items)
+        assert best.nbits >= 1
+        inner = [p for p, b in items if best.contains_path(p, b)]
+        outer = [p for p, b in items if not best.contains_path(p, b)]
+        assert len(inner) + len(outer) == len(items)
+
+    @given(path_populations())
+    @settings(max_examples=100)
+    def test_candidates_all_proper(self, items):
+        for block, n in split_candidates(ROOT_KEY, items):
+            assert 0 < n < len(items)
+            assert block.nbits >= 1

@@ -1,0 +1,156 @@
+"""Unit tests for the page store."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.pager import PageStore
+
+
+class TestLifecycle:
+    def test_allocate_read_write(self):
+        store = PageStore()
+        page = store.allocate({"a": 1})
+        assert store.read(page) == {"a": 1}
+        store.write(page, {"a": 2})
+        assert store.read(page) == {"a": 2}
+
+    def test_ids_are_unique_and_never_reused(self):
+        store = PageStore()
+        a = store.allocate("a")
+        store.free(a)
+        b = store.allocate("b")
+        assert a != b
+
+    def test_free_removes(self):
+        store = PageStore()
+        page = store.allocate("x")
+        store.free(page)
+        assert page not in store
+        with pytest.raises(PageNotFoundError):
+            store.read(page)
+
+    def test_read_unknown_page(self):
+        with pytest.raises(PageNotFoundError):
+            PageStore().read(42)
+
+    def test_write_unknown_page(self):
+        with pytest.raises(PageNotFoundError):
+            PageStore().write(42, "x")
+
+    def test_free_unknown_page(self):
+        with pytest.raises(PageNotFoundError):
+            PageStore().free(42)
+
+    def test_len_and_iteration(self):
+        store = PageStore()
+        ids = {store.allocate(i) for i in range(5)}
+        assert len(store) == 5
+        assert set(store.page_ids()) == ids
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(StorageError):
+            PageStore(page_bytes=0)
+
+
+class TestAccounting:
+    def test_io_counters(self):
+        store = PageStore()
+        page = store.allocate("x")
+        store.read(page)
+        store.read(page)
+        store.write(page, "y")
+        store.free(page)
+        assert store.stats.allocations == 1
+        assert store.stats.reads == 2
+        assert store.stats.writes == 1
+        assert store.stats.frees == 1
+        assert store.stats.total == 5
+
+    def test_snapshot_delta(self):
+        store = PageStore()
+        page = store.allocate("x")
+        before = store.stats.snapshot()
+        store.read(page)
+        store.read(page)
+        delta = store.stats.delta(before)
+        assert delta.reads == 2
+        assert delta.allocations == 0
+
+    def test_reset(self):
+        store = PageStore()
+        store.allocate("x")
+        store.stats.reset()
+        assert store.stats.total == 0
+
+
+class TestSizeClasses:
+    def test_default_class_sizes_scale(self):
+        store = PageStore(page_bytes=100)
+        store.allocate("a", size_class=0)
+        store.allocate("b", size_class=2)
+        stats = store.class_stats()
+        assert stats[0].page_bytes == 100
+        assert stats[2].page_bytes == 300
+
+    def test_registered_class_size(self):
+        store = PageStore(page_bytes=100)
+        store.register_size_class(3, 1234)
+        store.allocate("x", size_class=3)
+        assert store.class_stats()[3].page_bytes == 1234
+
+    def test_reregister_conflicting_size_with_live_pages(self):
+        store = PageStore()
+        store.register_size_class(1, 100)
+        store.allocate("x", size_class=1)
+        with pytest.raises(StorageError):
+            store.register_size_class(1, 200)
+
+    def test_reregister_same_size_is_fine(self):
+        store = PageStore()
+        store.register_size_class(1, 100)
+        store.allocate("x", size_class=1)
+        store.register_size_class(1, 100)
+
+    def test_live_pages_per_class(self):
+        store = PageStore()
+        a = store.allocate("a", size_class=0)
+        store.allocate("b", size_class=0)
+        store.allocate("c", size_class=1)
+        assert store.live_pages() == 3
+        assert store.live_pages(0) == 2
+        assert store.live_pages(1) == 1
+        assert store.live_pages(9) == 0
+        store.free(a)
+        assert store.live_pages(0) == 1
+
+    def test_live_bytes(self):
+        store = PageStore(page_bytes=10)
+        store.register_size_class(1, 25)
+        store.allocate("a", size_class=0)
+        store.allocate("b", size_class=1)
+        assert store.live_bytes() == 35
+
+    def test_peak_and_total_allocated(self):
+        store = PageStore()
+        a = store.allocate("a")
+        store.free(a)
+        store.allocate("b")
+        stats = store.class_stats()[0]
+        assert stats.total_allocated == 2
+        assert stats.peak_pages == 1
+        assert stats.live_pages == 1
+
+    def test_size_class_of(self):
+        store = PageStore()
+        page = store.allocate("x", size_class=4)
+        assert store.size_class_of(page) == 4
+        store.free(page)
+        with pytest.raises(PageNotFoundError):
+            store.size_class_of(page)
+
+    def test_rejects_negative_size_class(self):
+        store = PageStore()
+        with pytest.raises(StorageError):
+            store.allocate("x", size_class=-1)
+        with pytest.raises(StorageError):
+            store.register_size_class(-1, 10)

@@ -1,0 +1,67 @@
+"""Tests for the adversarial sequences."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import nested_hotspot, promotion_storm, sequential_1d
+
+
+class TestNestedHotspot:
+    def test_bounds_and_count(self):
+        points = list(nested_hotspot(300, 2, seed=1))
+        assert len(points) == 300
+        assert all(0 <= x < 1 for p in points for x in p)
+
+    def test_mass_concentrates_at_corner(self):
+        points = list(nested_hotspot(2000, 2, ratio=0.8, seed=2))
+        tiny = sum(1 for p in points if all(x < 2**-6 for x in p))
+        assert tiny > 100  # deep nesting really happens
+
+    def test_custom_corner(self):
+        points = list(
+            nested_hotspot(500, 2, corner=(0.5, 0.5), ratio=0.7, seed=3)
+        )
+        near = sum(1 for p in points if all(0.5 <= x < 0.51 for x in p))
+        assert near > 50
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            list(nested_hotspot(10, 2, ratio=1.5))
+        with pytest.raises(ReproError):
+            list(nested_hotspot(10, 2, corner=(0.1,)))
+        with pytest.raises(ReproError):
+            list(nested_hotspot(-1, 2))
+
+
+class TestPromotionStorm:
+    def test_bounds_and_count(self):
+        points = list(promotion_storm(300, 3, seed=4))
+        assert len(points) == 300
+        assert all(0 <= x < 1 for p in points for x in p)
+
+    def test_forces_promotions_in_bv_tree(self, unit2):
+        from repro.core.tree import BVTree
+
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        for i, p in enumerate(promotion_storm(1500, 2, seed=5)):
+            tree.insert(p, i, replace=True)
+        assert tree.stats.promotions > 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            list(promotion_storm(-1, 2))
+
+
+class TestSequential1D:
+    def test_monotone(self):
+        points = list(sequential_1d(100))
+        values = [p[0] for p in points]
+        assert values == sorted(values)
+
+    def test_padding_dimensions(self):
+        points = list(sequential_1d(10, ndim=3))
+        assert all(len(p) == 3 and p[1] == p[2] == 0.5 for p in points)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            list(sequential_1d(-1))

@@ -1,0 +1,86 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import (
+    clustered,
+    diagonal,
+    grid,
+    skewed,
+    uniform,
+    zipf_grid,
+)
+
+ALL_GENERATORS = [uniform, clustered, skewed, diagonal, grid, zipf_grid]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_count_and_bounds(self, gen):
+        points = list(gen(200, 3, seed=1))
+        assert len(points) == 200
+        for p in points:
+            assert len(p) == 3
+            assert all(0.0 <= x < 1.0 for x in p)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, gen):
+        assert list(gen(50, 2, seed=9)) == list(gen(50, 2, seed=9))
+
+    @pytest.mark.parametrize("gen", [uniform, clustered, skewed, zipf_grid])
+    def test_seeds_differ(self, gen):
+        assert list(gen(50, 2, seed=1)) != list(gen(50, 2, seed=2))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_zero_points(self, gen):
+        assert list(gen(0, 2)) == []
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_rejects_negative(self, gen):
+        with pytest.raises(ReproError):
+            list(gen(-1, 2))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_rejects_zero_dimensions(self, gen):
+        with pytest.raises(ReproError):
+            list(gen(10, 0))
+
+
+class TestShapes:
+    def test_clustered_is_clustered(self):
+        points = list(clustered(2000, 2, clusters=3, spread=0.01, seed=3))
+        # Nearly all mass within 3 tight blobs: the bounding boxes of
+        # point neighbourhoods are tiny compared to the space.
+        xs = sorted(p[0] for p in points)
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert max(gaps) > 0.05  # visible empty space between clusters
+
+    def test_skewed_concentrates_at_origin(self):
+        points = list(skewed(2000, 1, exponent=4.0, seed=4))
+        below = sum(1 for (x,) in points if x < 0.1)
+        assert below > len(points) * 0.4
+
+    def test_diagonal_correlation(self):
+        points = list(diagonal(500, 2, jitter=0.005, seed=5))
+        assert all(abs(x - y) < 0.02 for x, y in points)
+
+    def test_grid_is_duplicate_free(self):
+        points = list(grid(400, 2))
+        assert len(set(points)) == len(points)
+
+    def test_zipf_has_hot_cells(self):
+        from collections import Counter
+
+        points = list(zipf_grid(3000, 1, cells_per_dim=32, s=1.5, seed=6))
+        cells = Counter(int(x * 32) for (x,) in points)
+        top = cells.most_common(1)[0][1]
+        assert top > 3000 / 32 * 3  # far above the uniform share
+
+    def test_cluster_parameter_validation(self):
+        with pytest.raises(ReproError):
+            list(clustered(10, 2, clusters=0))
+        with pytest.raises(ReproError):
+            list(skewed(10, 2, exponent=0))
+        with pytest.raises(ReproError):
+            list(zipf_grid(10, 2, cells_per_dim=0))
