@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full gate: domain lint, typing (when mypy is available), tier-1 tests.
+# Everything CI runs, runnable locally in one shot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lintkit =="
+python -m repro.lintkit src/repro tests
+
+echo "== mypy =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy src/repro
+else
+    echo "mypy not installed; skipping the typing gate (pip install mypy)"
+fi
+
+echo "== tests =="
+python -m pytest -x -q
+
+echo "all checks passed"

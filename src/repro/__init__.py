@@ -34,9 +34,13 @@ from repro.core.policy import CapacityPolicy
 from repro.core.spatial import SpatialIndex
 from repro.core.tree import BVTree
 from repro.errors import (
+    DimensionMismatchError,
     DuplicateKeyError,
     GeometryError,
     KeyNotFoundError,
+    OutOfSpaceError,
+    PageNotFoundError,
+    PageOverflowError,
     ReproError,
     ResolutionExhaustedError,
     StorageError,
@@ -46,6 +50,7 @@ from repro.geometry.rect import Rect
 from repro.geometry.region import ROOT_KEY, RegionKey
 from repro.geometry.space import DataSpace
 from repro.storage.buffer import BufferPool
+from repro.storage.interface import Storage
 from repro.storage.pager import PageStore
 
 __version__ = "1.0.0"
@@ -55,9 +60,13 @@ __all__ = [
     "BufferPool",
     "CapacityPolicy",
     "DataSpace",
+    "DimensionMismatchError",
     "DuplicateKeyError",
     "GeometryError",
     "KeyNotFoundError",
+    "OutOfSpaceError",
+    "PageNotFoundError",
+    "PageOverflowError",
     "PageStore",
     "ROOT_KEY",
     "Rect",
@@ -65,6 +74,7 @@ __all__ = [
     "ReproError",
     "ResolutionExhaustedError",
     "SpatialIndex",
+    "Storage",
     "StorageError",
     "TreeInvariantError",
     "__version__",

@@ -168,7 +168,9 @@ class BangFile:
             self._split_index(chain)
 
     @staticmethod
-    def _straddles(entries, entry, boundary) -> bool:
+    def _straddles(
+        entries: list[Entry], entry: Entry, boundary: RegionKey
+    ) -> bool:
         """Does ``entry``'s holey region actually cross ``boundary``?
 
         Only the *directly* enclosing region does: if another same-level

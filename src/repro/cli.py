@@ -6,11 +6,13 @@
     python -m repro thresholds                 # §7.2/§7.3 file-size claims
     python -m repro demo --workload clustered  # build a BV-tree, show stats
     python -m repro compare --n 10000          # BV vs the baselines
+    python -m repro lint src/repro tests       # domain-aware static analysis
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.analysis import capacity, figures
@@ -151,6 +153,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: linting pulls in the whole rule registry, which the
+    # analysis/demo subcommands never need.
+    from repro.lintkit.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fanouts", type=int, nargs="+", default=[24, 120])
     p.add_argument("--page-bytes", type=int, default=1024)
     p.set_defaults(func=_cmd_thresholds)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro.lintkit static analyser",
+        description=(
+            "Delegates every following argument to python -m repro.lintkit "
+            "(run `python -m repro.lintkit --help` for its options)."
+        ),
+    )
+    p.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="ARGS",
+        help="arguments for repro.lintkit (paths, --format, --select, ...)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     for name, help_text in (
         ("demo", "build a BV-tree and print its statistics"),
@@ -213,7 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point (``python -m repro``)."""
-    args = build_parser().parse_args(argv)
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist[:1] == ["lint"]:
+        # Hand everything after "lint" to the lintkit parser untouched;
+        # argparse.REMAINDER would swallow positionals but not leading
+        # options such as ``repro lint --list-rules``.
+        return _cmd_lint(
+            argparse.Namespace(lint_args=arglist[1:])
+        )
+    args = build_parser().parse_args(arglist)
     return args.func(args)
 
 

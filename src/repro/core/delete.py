@@ -50,6 +50,7 @@ def delete_point(tree: "BVTree", point: Sequence[float]) -> Any:
         raise KeyNotFoundError(f"no record at {tuple(point)}")
     page.delete(path)
     tree.store.write(found.entry.page, page)
+    tree.stats.deletes += 1
     tree.count -= 1
     if found.entry.page != tree.root_page and tree.policy.data_underflows(
         len(page)

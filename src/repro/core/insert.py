@@ -51,6 +51,7 @@ def insert_point(
     had_record = path in page.records
     page.insert(path, pt, value, replace=replace)
     tree.store.write(found.entry.page, page)
+    tree.stats.inserts += 1
     if not had_record:
         tree.count += 1
     if tree.policy.data_overflows(len(page)):

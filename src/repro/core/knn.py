@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.errors import GeometryError, ReproError
+from repro.errors import GeometryError, ReproError, TreeInvariantError
 from repro.core.node import DataPage, IndexNode
 from repro.geometry.rect import Rect
 
@@ -103,7 +103,11 @@ def nearest_neighbours(
                         (-d, next(counter), Neighbour(stored, value, math.sqrt(d))),
                     )
             continue
-        assert isinstance(node, IndexNode)
+        if not isinstance(node, IndexNode):
+            raise TreeInvariantError(
+                f"page {entry.page} holds neither a data page nor an "
+                f"index node: {type(node).__name__}"
+            )
         for child in node.entries:
             block = tree.space.key_rect(child.key)
             d = _min_dist_sq(query, block)

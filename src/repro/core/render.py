@@ -18,11 +18,12 @@ from __future__ import annotations
 import string
 from typing import TYPE_CHECKING
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, TreeInvariantError
 from repro.core.descent import locate
 from repro.core.node import DataPage, IndexNode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.entry import Entry
     from repro.core.tree import BVTree
 
 
@@ -34,7 +35,7 @@ def render_tree(tree: "BVTree", max_depth: int | None = None) -> str:
     """
     lines: list[str] = []
 
-    def visit(entry, depth: int) -> None:
+    def visit(entry: Entry, depth: int) -> None:
         key = entry.key.bit_string() or "ε"
         content = tree.store.read(entry.page)
         indent = "  " * depth
@@ -44,7 +45,11 @@ def render_tree(tree: "BVTree", max_depth: int | None = None) -> str:
                 f"{len(content)} record(s)"
             )
             return
-        assert isinstance(content, IndexNode)
+        if not isinstance(content, IndexNode):
+            raise TreeInvariantError(
+                f"page {entry.page} holds neither a data page nor an "
+                f"index node: {type(content).__name__}"
+            )
         lines.append(
             f"{indent}L{entry.level} '{key}' — index node {entry.page} "
             f"(level {content.index_level}: {content.native_count()} native, "

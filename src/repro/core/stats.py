@@ -21,6 +21,8 @@ class OpCounters:
     the benchmarks run, and the invariant checker reports them.
     """
 
+    inserts: int = 0
+    deletes: int = 0
     data_splits: int = 0
     index_splits: int = 0
     promotions: int = 0

@@ -14,7 +14,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.errors import KeyNotFoundError, TreeInvariantError
 from repro.core import insert as _insert
@@ -28,7 +28,10 @@ from repro.core.stats import OpCounters, TreeStats, collect
 from repro.geometry.rect import Rect
 from repro.geometry.region import ROOT_KEY, RegionKey
 from repro.geometry.space import DataSpace
-from repro.storage.pager import PageStore
+from repro.storage import Storage, default_store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.knn import KNNResult
 
 
 class BVTree:
@@ -51,8 +54,10 @@ class BVTree:
         ``B`` — byte size of data pages and level-1 index pages (accounting
         only; pages store live objects).
     store:
-        Optionally share a :class:`~repro.storage.PageStore` (e.g. to put a
-        buffer pool underneath or to co-locate several structures).
+        Optionally share a :class:`~repro.storage.Storage` backend (e.g.
+        a :class:`~repro.storage.BufferPool` to measure cache behaviour,
+        or a store co-located with other structures).  Core code depends
+        only on the protocol, never on a concrete backend (lint rule R3).
     """
 
     def __init__(
@@ -62,7 +67,7 @@ class BVTree:
         fanout: int = 16,
         policy: str = "scaled",
         page_bytes: int = 1024,
-        store: PageStore | None = None,
+        store: Storage | None = None,
     ):
         self.space = space
         self.policy = CapacityPolicy(
@@ -71,7 +76,7 @@ class BVTree:
             kind=policy,
             page_bytes=page_bytes,
         )
-        self.store = store if store is not None else PageStore(page_bytes)
+        self.store = store if store is not None else default_store(page_bytes)
         self.store.register_size_class(0, page_bytes)
         self.stats = OpCounters()
         self.count = 0
@@ -254,7 +259,7 @@ class BVTree:
         """
         return _query.partial_match(self, constraints)
 
-    def nearest(self, point: Sequence[float], k: int = 1):
+    def nearest(self, point: Sequence[float], k: int = 1) -> "KNNResult":
         """The ``k`` records nearest to ``point`` (Euclidean distance).
 
         Returns a :class:`~repro.core.knn.KNNResult` with the neighbours

@@ -107,7 +107,10 @@ class Rect:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Rect):
             return NotImplemented
-        return self.lows == other.lows and self.highs == other.highs
+        # Two Rects are "the same rectangle" only bit-for-bit — exact
+        # identity is the contract here and must stay consistent with
+        # __hash__; tolerance-based comparison belongs to the callers.
+        return self.lows == other.lows and self.highs == other.highs  # lint: ignore[R1] -- identity, matches __hash__
 
     def __hash__(self) -> int:
         return hash((self.lows, self.highs))

@@ -170,9 +170,10 @@ class DataSpace:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DataSpace):
             return NotImplemented
-        return (
-            self.bounds == other.bounds and self.resolution == other.resolution
-        )
+        # Two spaces are interchangeable only when their bounds match
+        # bit-for-bit (same grid, same point paths), so exact equality is
+        # the contract — it must also stay consistent with __hash__.
+        return self.bounds == other.bounds and self.resolution == other.resolution  # lint: ignore[R1] -- identity, matches __hash__
 
     def __hash__(self) -> int:
         return hash((self.bounds, self.resolution))

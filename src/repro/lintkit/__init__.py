@@ -1,0 +1,40 @@
+"""repro.lintkit — domain-aware static analysis for the BV-tree codebase.
+
+The runtime invariant checker (:mod:`repro.core.checker`) verifies tree
+*states*; this package statically rejects the bug *classes* that produce
+invalid states before the code ever runs: float equality on coordinates,
+entry lists mutated mid-iteration, core code bypassing the storage
+layering, mutations the stats accounting cannot see, silent exception
+swallowing, ``__all__`` drift, asserts that vanish under ``-O``, and
+TYPE_CHECKING imports leaking into runtime.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+
+Programmatic use::
+
+    from repro.lintkit import lint_paths
+    findings = lint_paths(["src/repro", "tests"])
+    bad = [f for f in findings if f.severity == "error"]
+
+Command line: ``python -m repro.lintkit <paths>`` or ``repro lint <paths>``.
+"""
+
+from repro.lintkit.baseline import load_baseline, write_baseline
+from repro.lintkit.context import FileContext
+from repro.lintkit.driver import discover_files, lint_file, lint_paths
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, all_rules, register
+from repro.lintkit.suppress import scan_suppressions
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "discover_files",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "scan_suppressions",
+    "write_baseline",
+]

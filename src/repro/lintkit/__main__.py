@@ -1,0 +1,6 @@
+"""``python -m repro.lintkit`` dispatches to the lint CLI."""
+
+from repro.lintkit.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

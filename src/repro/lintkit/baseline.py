@@ -1,0 +1,102 @@
+"""Baseline files: grandfather known findings without silencing new ones.
+
+A baseline is a JSON file of finding fingerprints (``path``, ``code``,
+``message`` — no line numbers, so edits elsewhere in a file do not
+invalidate entries).  ``--write-baseline`` records the current findings;
+``--baseline`` subtracts them on later runs.  Stale entries — baselined
+findings that no longer occur — are reported as ``B1`` errors, the
+baseline-file analogue of rule R9: an exception that outlived its code
+must be deleted, not silently kept.
+
+This repository ships *no* baseline: the tree is lint-clean, and the
+mechanism exists so future PRs can stage large rule additions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lintkit.findings import ERROR, Finding, sort_key
+
+_VERSION = 1
+
+#: Engine code for stale baseline entries.
+STALE_CODE = "B1"
+
+
+class BaselineError(ReproError):
+    """A baseline file is missing, unreadable or malformed."""
+
+
+Fingerprint = tuple[str, str, str]
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Record the fingerprints of ``findings`` as the new baseline."""
+    entries = [
+        {"path": f.path, "code": f.code, "message": f.message}
+        for f in sorted(findings, key=sort_key)
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str | Path) -> Counter[Fingerprint]:
+    """Load a baseline as a multiset of fingerprints."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    counts: Counter[Fingerprint] = Counter()
+    for entry in payload.get("entries", []):
+        try:
+            counts[(entry["path"], entry["code"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path} entry {entry!r} lacks path/code/message"
+            ) from exc
+    return counts
+
+
+def apply_baseline(
+    findings: list[Finding],
+    baseline: Counter[Fingerprint],
+    baseline_path: str,
+) -> list[Finding]:
+    """Subtract baselined findings; surface stale entries as B1 errors."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            continue
+        kept.append(finding)
+    for (f_path, code, message), count in sorted(remaining.items()):
+        if count <= 0:
+            continue
+        kept.append(
+            Finding(
+                path=baseline_path,
+                line=1,
+                col=1,
+                code=STALE_CODE,
+                message=(
+                    f"stale baseline entry ({count}x): {f_path}: {code}: "
+                    f"{message}"
+                ),
+                severity=ERROR,
+                fix_hint="regenerate with --write-baseline",
+            )
+        )
+    return kept

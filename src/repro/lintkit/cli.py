@@ -1,0 +1,122 @@
+"""Command-line entry point: ``python -m repro.lintkit`` / ``repro lint``.
+
+::
+
+    python -m repro.lintkit src/repro tests          # gate: exit 1 on errors
+    python -m repro.lintkit src --format json        # machine-readable
+    python -m repro.lintkit src --select R1,R7       # only some rules
+    python -m repro.lintkit src --write-baseline lint-baseline.json
+    python -m repro.lintkit src --baseline lint-baseline.json
+    python -m repro.lintkit --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.lintkit.baseline import write_baseline
+from repro.lintkit.driver import has_errors, lint_paths
+from repro.lintkit.output import FORMATS, JSON, TEXT, render_json, render_text
+from repro.lintkit.registry import all_rules, resolve_codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lintkit",
+        description=(
+            "Domain-aware static analysis for the BV-tree codebase "
+            "(rule catalogue: docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyse"
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default=TEXT, help="output format"
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. R1,R7)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract a recorded baseline; stale entries become B1 errors",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not only errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code, rule in all_rules().items():
+        lines.append(f"{code}  [{rule.severity}]  {rule.name}")
+        if rule.fix_hint:
+            lines.append(f"      fix: {rule.fix_hint}")
+    lines.append("P0  [error]  file cannot be parsed")
+    lines.append("B1  [error]  stale baseline entry")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        print("error: no paths given (try --help)", file=sys.stderr)
+        return 2
+    try:
+        select = resolve_codes(args.select.split(",")) if args.select else None
+        ignore = resolve_codes(args.ignore.split(",")) if args.ignore else None
+        findings = lint_paths(
+            args.paths,
+            select=select,
+            ignore=ignore,
+            baseline_path=args.baseline,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.format == JSON:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if has_errors(findings, strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

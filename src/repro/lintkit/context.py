@@ -1,0 +1,75 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` is built once per file by the driver: the source
+text, the parsed AST and a normalised POSIX path.  Rules receive it and
+use the scoping helpers below to decide whether the file is library code
+(``src/repro``) or test code, and which subpackage it belongs to — the
+domain rules are scoped to the layers whose invariants they protect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+from repro.lintkit.findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def posix(self) -> str:
+        """The path with forward slashes, for substring scoping."""
+        return PurePosixPath(self.path).as_posix()
+
+    def finding(
+        self,
+        node: ast.AST | None,
+        code: str,
+        message: str,
+        severity: str = "error",
+        fix_hint: str = "",
+    ) -> Finding:
+        """A finding anchored at ``node`` (or the file start when None)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=self.posix,
+            line=line,
+            col=col + 1,
+            code=code,
+            message=message,
+            severity=severity,
+            fix_hint=fix_hint,
+        )
+
+
+def is_test_path(posix: str) -> bool:
+    """True for files under a ``tests`` directory or named ``test_*.py``."""
+    parts = PurePosixPath(posix).parts
+    if "tests" in parts or "test" in parts:
+        return True
+    name = PurePosixPath(posix).name
+    return name.startswith("test_") or name.endswith("_test.py")
+
+
+def is_library_path(posix: str) -> bool:
+    """True for files that belong to the ``repro`` package itself."""
+    return "repro/" in posix and not is_test_path(posix)
+
+
+def in_subpackage(posix: str, sub: str) -> bool:
+    """True if the file lives under ``repro/<sub>/`` in the library tree."""
+    return is_library_path(posix) and f"repro/{sub}/" in posix
+
+
+def module_basename(posix: str) -> str:
+    """The file name component of the path."""
+    return PurePosixPath(posix).name

@@ -1,0 +1,129 @@
+"""The per-file driver: discovery, parsing, rule dispatch, filtering.
+
+One pass per file: parse once, hand the shared :class:`FileContext` to
+every rule whose ``applies_to`` accepts the path, then post-process —
+inline suppressions first (marking which were used, so unused ones
+become ``R9`` findings), then the baseline subtraction.  Unparseable
+files yield a single ``P0`` finding instead of a crash: a lint gate that
+dies on the code it is gating is useless in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+from repro.lintkit.baseline import apply_baseline, load_baseline
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import ERROR, Finding, sort_key
+from repro.lintkit.registry import Rule, all_rules
+from repro.lintkit.suppress import (
+    apply_suppressions,
+    scan_suppressions,
+    unused_suppression_findings,
+)
+
+#: Engine code for files the parser rejects.
+PARSE_ERROR_CODE = "P0"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+class LintPathError(ReproError):
+    """A path passed to the linter does not exist."""
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+        else:
+            raise LintPathError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_file(
+    path: str | Path, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """All findings for one file, inline suppressions already applied."""
+    path = Path(path)
+    posix = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=posix,
+                line=1,
+                col=1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot read file: {exc}",
+                severity=ERROR,
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=PARSE_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+                severity=ERROR,
+            )
+        ]
+    ctx = FileContext(path=posix, source=source, tree=tree)
+    if rules is None:
+        rules = all_rules().values()
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx.posix):
+            findings.extend(rule.check(ctx))
+    suppressions = scan_suppressions(source)
+    findings = apply_suppressions(findings, suppressions)
+    findings.extend(unused_suppression_findings(ctx, suppressions))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    baseline_path: str | Path | None = None,
+) -> list[Finding]:
+    """Lint files/directories and return the filtered, sorted findings.
+
+    ``select`` keeps only the given rule codes; ``ignore`` drops them
+    (select wins when both name a code).  ``baseline_path`` subtracts a
+    recorded baseline and surfaces its stale entries as ``B1``.
+    """
+    rules = list(all_rules().values())
+    findings: list[Finding] = []
+    for path in discover_files(paths):
+        findings.extend(lint_file(path, rules))
+    if select:
+        findings = [f for f in findings if f.code in select]
+    if ignore:
+        findings = [f for f in findings if f.code not in ignore]
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        findings = apply_baseline(findings, baseline, str(baseline_path))
+    return sorted(findings, key=sort_key)
+
+
+def has_errors(findings: Iterable[Finding], strict: bool = False) -> bool:
+    """Gate outcome: any error finding (or any finding under strict)."""
+    if strict:
+        return any(True for _ in findings)
+    return any(f.severity == ERROR for f in findings)

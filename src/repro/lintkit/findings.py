@@ -1,0 +1,61 @@
+"""The findings model: what a rule reports and how it is identified.
+
+A :class:`Finding` is one diagnostic anchored to a source location.  Its
+``code`` names the rule that produced it (``R1`` … ``R9``, plus the
+engine codes ``P0`` for unparseable files and ``B1`` for stale baseline
+entries); its ``fingerprint`` — ``(path, code, message)`` — is the
+identity used by baseline files, deliberately excluding line numbers so
+unrelated edits above a baselined finding do not invalidate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, in increasing order of strictness.
+WARNING = "warning"
+ERROR = "error"
+
+SEVERITIES = (WARNING, ERROR)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule (or by the engine itself)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = ERROR
+    fix_hint: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline identity of this finding (line numbers drift)."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        """One-line human-readable form, ``path:line:col: CODE sev: msg``."""
+        hint = f" (fix: {self.fix_hint})" if self.fix_hint else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity}: {self.message}{hint}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+def sort_key(finding: Finding) -> tuple[str, int, int, str]:
+    """Stable presentation order: by file, then location, then code."""
+    return (finding.path, finding.line, finding.col, finding.code)

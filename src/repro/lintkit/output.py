@@ -1,0 +1,40 @@
+"""Rendering findings: plain text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lintkit.findings import ERROR, Finding, sort_key
+
+TEXT = "text"
+JSON = "json"
+
+FORMATS = (TEXT, JSON)
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One line per finding plus a summary line."""
+    ordered = sorted(findings, key=sort_key)
+    lines = [f.render() for f in ordered]
+    errors = sum(1 for f in ordered if f.severity == ERROR)
+    warnings = len(ordered) - errors
+    if ordered:
+        lines.append("")
+    lines.append(
+        f"lintkit: {errors} error(s), {warnings} warning(s) "
+        f"in {len({f.path for f in ordered})} file(s)"
+        if ordered
+        else "lintkit: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """The findings as a JSON document (stable ordering)."""
+    ordered = sorted(findings, key=sort_key)
+    payload = {
+        "findings": [f.to_dict() for f in ordered],
+        "errors": sum(1 for f in ordered if f.severity == ERROR),
+        "warnings": sum(1 for f in ordered if f.severity != ERROR),
+    }
+    return json.dumps(payload, indent=2)

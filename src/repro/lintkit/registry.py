@@ -1,0 +1,102 @@
+"""The rule registry: how rules declare themselves to the driver.
+
+A rule is a class with a unique ``code``, a one-line ``name``, a default
+``severity`` and ``fix_hint``, an ``applies_to`` path predicate and a
+``check`` method yielding findings.  Decorating it with :func:`register`
+adds it to the global registry the driver iterates; the registry is
+keyed by code so ``--select``/``--ignore`` can address rules directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import ERROR, Finding
+
+_CODE_RE = re.compile(r"^[A-Z][0-9]+$")
+
+
+class LintConfigError(ReproError):
+    """A rule was mis-declared or selected by an unknown code."""
+
+
+class Rule:
+    """Base class for lint rules.  Subclass, set the class attributes,
+    implement :meth:`check`, and decorate with :func:`register`."""
+
+    #: Unique short code, e.g. ``"R1"``.
+    code: str = ""
+    #: One-line human name shown by ``--list-rules``.
+    name: str = ""
+    #: Default severity of this rule's findings.
+    severity: str = ERROR
+    #: Default remediation hint appended to findings.
+    fix_hint: str = ""
+
+    def applies_to(self, posix: str) -> bool:
+        """Whether the rule runs on this file (default: every file)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+
+    def make(
+        self, ctx: FileContext, node: ast.AST | None, message: str
+    ) -> Finding:
+        """A finding with this rule's code, severity and hint."""
+        return ctx.finding(
+            node,
+            self.code,
+            message,
+            severity=self.severity,
+            fix_hint=self.fix_hint,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _CODE_RE.match(cls.code):
+        raise LintConfigError(f"rule {cls.__name__} has invalid code {cls.code!r}")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise LintConfigError(
+            f"rule code {cls.code} registered twice "
+            f"({existing.__name__} and {cls.__name__})"
+        )
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Fresh instances of every registered rule, keyed by code."""
+    import repro.lintkit.rules  # noqa: F401  (registers R1-R8 on import)
+    import repro.lintkit.suppress  # noqa: F401  (registers R9)
+
+    return {code: cls() for code, cls in sorted(_REGISTRY.items())}
+
+
+def resolve_codes(codes: Iterable[str]) -> set[str]:
+    """Validate a user-supplied code list against the registry."""
+    known = set(all_rules())
+    # Engine-level codes accepted by select/ignore although they are not
+    # ordinary registered rules: parse errors and stale baseline entries.
+    known |= {"P0", "B1"}
+    requested = {c.strip().upper() for c in codes if c.strip()}
+    unknown = requested - known
+    if unknown:
+        raise LintConfigError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return requested

@@ -1,0 +1,20 @@
+"""The domain rules, registered on import.
+
+Each module protects one invariant class of the BV-tree codebase; see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue with rationale and
+examples.  Importing this package populates the registry in
+:mod:`repro.lintkit.registry` (rule ``R9`` registers from
+:mod:`repro.lintkit.suppress`, where the suppression machinery lives).
+"""
+
+from repro.lintkit.rules import exceptions, exports, floats, layering, mutation, statstouch, typingonly
+
+__all__ = [
+    "exceptions",
+    "exports",
+    "floats",
+    "layering",
+    "mutation",
+    "statstouch",
+    "typingonly",
+]

@@ -1,0 +1,129 @@
+"""R5 and R7 — exception discipline.
+
+R5: no bare ``except:`` anywhere, and no silently swallowed library
+errors (``except ReproError: pass`` and friends).  The library's
+exception hierarchy (:mod:`repro.errors`) is designed so callers can
+catch precisely; a handler that catches the hierarchy — or ``Exception``
+— and does nothing hides exactly the invariant violations the runtime
+checker exists to surface.
+
+R7: no ``assert`` for invariant enforcement in library code.  Asserts
+vanish under ``python -O``, so an invariant guarded by ``assert`` is an
+invariant unguarded in optimised production runs; library code must
+raise :class:`~repro.errors.TreeInvariantError` (or a more specific
+``ReproError``).  Test code is exempt — asserting is what tests do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, is_library_path
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+#: The repro exception hierarchy (mirrors repro/errors.py) plus the
+#: built-in catch-alls a silent handler must not swallow.
+_SWALLOWED_NAMES = frozenset(
+    {
+        "ReproError",
+        "GeometryError",
+        "DimensionMismatchError",
+        "OutOfSpaceError",
+        "ResolutionExhaustedError",
+        "StorageError",
+        "PageNotFoundError",
+        "PageOverflowError",
+        "TreeInvariantError",
+        "KeyNotFoundError",
+        "DuplicateKeyError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    """The caught exception name(s) of an except clause."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, ast.Tuple):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_exception_names(element))
+        return names
+    return []
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """A handler body that does nothing: ``pass`` or a bare ``...``."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+@register
+class SilentExcept(Rule):
+    """Flag bare excepts and silently swallowed library errors."""
+
+    code = "R5"
+    name = "bare or silent except"
+    fix_hint = "catch the narrowest error and handle or re-raise it"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.make(
+                    ctx,
+                    node,
+                    "bare 'except:' catches everything, including "
+                    "KeyboardInterrupt and SystemExit",
+                )
+                continue
+            if not _is_silent(node.body):
+                continue
+            swallowed = [
+                name
+                for name in _exception_names(node.type)
+                if name in _SWALLOWED_NAMES
+            ]
+            if swallowed:
+                yield self.make(
+                    ctx,
+                    node,
+                    f"silently swallowing {', '.join(swallowed)} hides "
+                    f"invariant violations",
+                )
+
+
+@register
+class AssertForInvariants(Rule):
+    """Flag ``assert`` in library code (erased under ``python -O``)."""
+
+    code = "R7"
+    name = "assert used for invariant enforcement"
+    fix_hint = "raise TreeInvariantError (or a specific ReproError) instead"
+
+    def applies_to(self, posix: str) -> bool:
+        return is_library_path(posix)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.make(
+                    ctx,
+                    node,
+                    "assert statements are removed under python -O; "
+                    "library invariants must raise",
+                )

@@ -1,0 +1,131 @@
+"""R6 — ``__all__`` must match a package's public surface.
+
+Each ``__init__.py`` under ``repro`` is a curated façade: what it
+imports and defines *is* the documented public API of that subpackage.
+When ``__all__`` and the actual bindings drift apart, ``from pkg import
+*`` and the docs disagree with reality, and dead re-exports (or missing
+ones) accumulate unnoticed.  The rule checks both directions:
+
+- every public binding (import, assignment, def, class — names not
+  starting with ``_``) must appear in ``__all__``;
+- every name in ``__all__`` must be bound in the module (dunders such as
+  ``__version__`` are allowed in ``__all__`` when actually assigned).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, is_library_path, module_basename
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (imports, defs, assignments)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _find_all(tree: ast.Module) -> tuple[ast.Assign | None, list[str] | None]:
+    """The ``__all__`` assignment node and its string items, if present."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return node, None
+        items: list[str] = []
+        for element in node.value.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return node, None
+            items.append(element.value)
+        return node, items
+    return None, None
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class AllMatchesPublicNames(Rule):
+    """Flag ``__all__`` drift in package ``__init__`` modules."""
+
+    code = "R6"
+    name = "__all__ out of sync with public names"
+    fix_hint = "add/remove the name in __all__ or in the module bindings"
+
+    def applies_to(self, posix: str) -> bool:
+        return is_library_path(posix) and module_basename(posix) == "__init__.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        bound = _bound_names(ctx.tree)
+        all_node, all_items = _find_all(ctx.tree)
+        public = {n for n in bound if not n.startswith("_")}
+        if all_node is None:
+            if public:
+                yield self.make(
+                    ctx,
+                    None,
+                    f"package __init__ defines {len(public)} public "
+                    f"name(s) but no __all__",
+                )
+            return
+        if all_items is None:
+            yield self.make(
+                ctx,
+                all_node,
+                "__all__ must be a literal list/tuple of strings for "
+                "static verification",
+            )
+            return
+        all_set = set(all_items)
+        for name in sorted(public - all_set):
+            yield self.make(
+                ctx,
+                all_node,
+                f"public name '{name}' is bound here but missing from __all__",
+            )
+        for name in sorted(all_set - bound):
+            yield self.make(
+                ctx,
+                all_node,
+                f"__all__ lists '{name}' but the module does not bind it",
+            )
+        for name in sorted(all_set & bound):
+            if name.startswith("_") and not _is_dunder(name):
+                yield self.make(
+                    ctx,
+                    all_node,
+                    f"__all__ exports the private name '{name}'",
+                )
+        duplicates = {n for n in all_items if all_items.count(n) > 1}
+        for name in sorted(duplicates):
+            yield self.make(
+                ctx, all_node, f"__all__ lists '{name}' more than once"
+            )

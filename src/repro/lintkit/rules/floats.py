@@ -1,0 +1,78 @@
+"""R1 — no float equality on region coordinates.
+
+The BV-tree's geometry is exact: region membership is decided on
+*bit paths* (integers), never on reconstructed coordinates, because two
+coordinates that "should" coincide after arithmetic rarely compare equal
+in floating point.  A ``==``/``!=`` between float-valued expressions in
+the geometry layer is therefore either a bug (use bit-path or grid
+comparison) or an intentional exact-identity check that must carry a
+justification (``# lint: ignore[R1] -- why``).
+
+Scope: ``repro/geometry/`` and ``repro/core/spatial.py`` — the two
+places coordinates are produced and consumed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, in_subpackage, is_library_path
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+#: Attributes that hold tuples of real-valued coordinates in this codebase.
+COORDINATE_ATTRS = frozenset({"lows", "highs", "bounds"})
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Heuristic: does this expression plausibly produce float values?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Attribute):
+        return node.attr in COORDINATE_ATTRS
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """Flag ``==``/``!=`` between float-valued geometric expressions."""
+
+    code = "R1"
+    name = "float equality on coordinates"
+    fix_hint = (
+        "compare bit paths / grid cells, use math.isclose, or justify "
+        "with '# lint: ignore[R1] -- reason'"
+    )
+
+    def applies_to(self, posix: str) -> bool:
+        return in_subpackage(posix, "geometry") or (
+            is_library_path(posix) and posix.endswith("repro/core/spatial.py")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_floatish(left) or _is_floatish(right):
+                    yield self.make(
+                        ctx,
+                        node,
+                        "float-valued equality comparison on coordinates "
+                        "(exact float == is almost never the intended "
+                        "geometric predicate)",
+                    )
+                    break  # one finding per comparison chain

@@ -1,0 +1,72 @@
+"""R3 — core/ must not reach into the pager directly.
+
+The index algorithms in ``repro/core`` program against the
+:class:`repro.storage.Storage` protocol, so a tree can run over a bare
+:class:`PageStore`, a :class:`BufferPool`, or any future backend
+(sharded, async, on-disk) without core changes.  Importing
+``repro.storage.pager`` — or the concrete ``PageStore`` type — from core
+code re-couples the algorithms to one backend and bypasses the buffer
+layer's accounting, which is what the paper's page-count claims are
+measured with.
+
+Sanctioned spelling: ``from repro.storage import Storage, default_store``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, in_subpackage
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+_FORBIDDEN_MODULE = "repro.storage.pager"
+_FORBIDDEN_NAME = "PageStore"
+
+
+@register
+class CorePagerLayering(Rule):
+    """Flag direct pager imports from ``repro/core``."""
+
+    code = "R3"
+    name = "core bypasses the storage layering"
+    fix_hint = (
+        "import the Storage protocol / default_store from repro.storage "
+        "instead of the concrete pager"
+    )
+
+    def applies_to(self, posix: str) -> bool:
+        return in_subpackage(posix, "core")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _FORBIDDEN_MODULE or alias.name.startswith(
+                        _FORBIDDEN_MODULE + "."
+                    ):
+                        yield self.make(
+                            ctx,
+                            node,
+                            f"core module imports {alias.name} directly",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == _FORBIDDEN_MODULE or module.startswith(
+                    _FORBIDDEN_MODULE + "."
+                ):
+                    yield self.make(
+                        ctx,
+                        node,
+                        f"core module imports from {module} directly",
+                    )
+                    continue
+                for alias in node.names:
+                    if alias.name == _FORBIDDEN_NAME:
+                        yield self.make(
+                            ctx,
+                            node,
+                            f"core module imports the concrete "
+                            f"{_FORBIDDEN_NAME} type from {module or '.'}",
+                        )

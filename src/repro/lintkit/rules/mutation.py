@@ -1,0 +1,106 @@
+"""R2 — no mutation of ``node.entries`` inside a loop iterating it.
+
+Split, promotion and merge code walks index-node entry lists while
+deciding which entries move; mutating the list being iterated skips
+elements (CPython list iteration is index-based) — exactly the class of
+rebalancing bug that corrupts occupancy and reachability invariants
+without failing loudly.  Iterate a copy (``for e in list(node.entries)``)
+or collect first and mutate after the loop, as the update algebra in
+:mod:`repro.core.insert` does.
+
+The rule flags, inside ``for x in <obj>.entries:``, any of:
+
+- ``<obj>.entries.append/remove/insert/pop/clear/extend/sort(...)``
+- ``<obj>.add(...)`` / ``<obj>.remove(...)`` (the IndexNode mutators)
+- assignment, augmented assignment or ``del`` of ``<obj>.entries``
+
+where ``<obj>`` is syntactically the same expression as the one
+iterated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+_LIST_MUTATORS = frozenset(
+    {"append", "remove", "insert", "pop", "clear", "extend", "sort"}
+)
+_NODE_MUTATORS = frozenset({"add", "remove"})
+
+
+def _same_expr(a: ast.expr, b: ast.expr) -> bool:
+    """Syntactic equality of two expressions (ignoring positions)."""
+    return ast.dump(a) == ast.dump(b)
+
+
+def _entries_of(node: ast.expr) -> ast.expr | None:
+    """If ``node`` is ``<obj>.entries``, return ``<obj>``."""
+    if isinstance(node, ast.Attribute) and node.attr == "entries":
+        return node.value
+    return None
+
+
+@register
+class EntriesMutatedDuringIteration(Rule):
+    """Flag entry-list mutation while the same list is being iterated."""
+
+    code = "R2"
+    name = "entries mutated during iteration"
+    fix_hint = "iterate a copy: 'for e in list(node.entries):'"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                continue
+            owner = _entries_of(loop.iter)
+            if owner is None:
+                continue
+            for stmt in loop.body:
+                for inner in ast.walk(stmt):
+                    mutation = self._mutates(inner, owner)
+                    if mutation is not None:
+                        yield self.make(
+                            ctx,
+                            inner,
+                            f"'{mutation}' mutates the entry list being "
+                            f"iterated by the enclosing for loop "
+                            f"(line {loop.lineno})",
+                        )
+        return
+
+    def _mutates(self, node: ast.AST, owner: ast.expr) -> str | None:
+        """A short description of the mutation, or None."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            target = node.func.value
+            entries_owner = _entries_of(target)
+            if (
+                node.func.attr in _LIST_MUTATORS
+                and entries_owner is not None
+                and _same_expr(entries_owner, owner)
+            ):
+                return f".entries.{node.func.attr}()"
+            if node.func.attr in _NODE_MUTATORS and _same_expr(target, owner):
+                return f".{node.func.attr}()"
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                targets = node.targets
+            for target in targets:
+                target_owner = _entries_of(target)
+                if target_owner is not None and _same_expr(target_owner, owner):
+                    return ".entries assignment"
+                # Subscript mutation: node.entries[i] = ... / del node.entries[i]
+                if isinstance(target, ast.Subscript):
+                    sub_owner = _entries_of(target.value)
+                    if sub_owner is not None and _same_expr(sub_owner, owner):
+                        return ".entries[...] assignment"
+        return None

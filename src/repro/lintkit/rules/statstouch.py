@@ -1,0 +1,125 @@
+"""R4 — public core mutators must account on ``tree.stats``.
+
+Every structural claim reproduced from the paper (split counts, deferred
+merges, promotion/demotion totals) is read off the tree's
+:class:`~repro.core.stats.OpCounters`; the invariant checker and the
+benchmarks both consult them.  A public function in ``repro/core`` that
+mutates tree state without touching ``tree.stats`` creates operations
+the accounting cannot see — the counters silently under-report and every
+downstream claim drifts.
+
+The rule applies to module-level public functions taking a parameter
+named ``tree``.  "Mutates tree state" means: assigning ``tree.count``,
+``tree.height`` or ``tree.root_page``; calling ``tree.store.write``,
+``tree.store.free`` or ``tree.store.allocate``; or calling the
+allocation/registry helpers ``tree.alloc_data_page``,
+``tree.alloc_index_node``, ``tree.register_entry`` or
+``tree.unregister_entry``.  "Touches stats" means any read or write of
+``tree.stats.<counter>`` in the same function body (delegating the
+mutation *and* the accounting to a callee keeps the callee in scope of
+this rule instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, in_subpackage
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+_MUTATED_ATTRS = frozenset({"count", "height", "root_page"})
+_STORE_MUTATORS = frozenset({"write", "free", "allocate"})
+_TREE_MUTATORS = frozenset(
+    {
+        "alloc_data_page",
+        "alloc_index_node",
+        "register_entry",
+        "unregister_entry",
+    }
+)
+
+
+def _is_tree_attr(node: ast.expr, param: str, attr: str | None = None) -> bool:
+    """Is ``node`` the expression ``<param>.<attr>`` (any attr if None)?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == param
+        and (attr is None or node.attr == attr)
+    )
+
+
+@register
+class MutatorsTouchStats(Rule):
+    """Flag public core mutators that never touch ``tree.stats``."""
+
+    code = "R4"
+    name = "tree mutation without stats accounting"
+    fix_hint = "bump or read a tree.stats counter in the mutating function"
+
+    def applies_to(self, posix: str) -> bool:
+        return in_subpackage(posix, "core")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = [a.arg for a in node.args.args + node.args.posonlyargs]
+            if "tree" not in params:
+                continue
+            mutation = self._first_mutation(node, "tree")
+            if mutation is None:
+                continue
+            if self._touches_stats(node, "tree"):
+                continue
+            yield self.make(
+                ctx,
+                node,
+                f"public function '{node.name}' mutates tree state "
+                f"({mutation}) but never touches tree.stats",
+            )
+
+    def _first_mutation(
+        self, func: ast.AST, param: str
+    ) -> str | None:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(
+                        target, ast.Attribute
+                    ) and target.attr in _MUTATED_ATTRS and _is_tree_attr(
+                        target, param, target.attr
+                    ):
+                        return f"assigns {param}.{target.attr}"
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func_attr = node.func
+                # tree.store.write(...) / free / allocate
+                if func_attr.attr in _STORE_MUTATORS and _is_tree_attr(
+                    func_attr.value, param, "store"
+                ):
+                    return f"calls {param}.store.{func_attr.attr}()"
+                # tree.alloc_*/register_entry/unregister_entry(...)
+                if func_attr.attr in _TREE_MUTATORS and isinstance(
+                    func_attr.value, ast.Name
+                ) and func_attr.value.id == param:
+                    return f"calls {param}.{func_attr.attr}()"
+        return None
+
+    def _touches_stats(self, func: ast.AST, param: str) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and _is_tree_attr(
+                node.value, param, "stats"
+            ):
+                return True
+        return False

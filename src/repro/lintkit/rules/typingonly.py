@@ -1,0 +1,112 @@
+"""R8 — names imported under ``TYPE_CHECKING`` must stay annotation-only.
+
+The core modules break their import cycle with ``BVTree`` by importing
+it under ``if TYPE_CHECKING:`` and annotating with the string form
+(PEP 563 ``from __future__ import annotations`` keeps annotations
+unevaluated).  A TYPE_CHECKING-only name that leaks into *runtime* code
+— an ``isinstance`` check, a constructor call, a default value — is a
+``NameError`` waiting on exactly the code path tests did not cover.
+
+The rule collects the names imported inside ``if TYPE_CHECKING:``
+blocks and flags any load of them outside annotation positions (and
+outside the guarded block itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Matches ``TYPE_CHECKING`` and ``typing.TYPE_CHECKING``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _imported_names(block: list[ast.stmt]) -> set[str]:
+    names: set[str] = set()
+    for node in block:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _annotation_nodes(tree: ast.Module) -> set[int]:
+    """The ``id()`` of every AST node inside an annotation subtree."""
+    ids: set[int] = set()
+    for node in ast.walk(tree):
+        annotations: list[ast.expr] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                args.posonlyargs
+                + args.args
+                + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.annotation is not None:
+                    annotations.append(arg.annotation)
+            if node.returns is not None:
+                annotations.append(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        for annotation in annotations:
+            for sub in ast.walk(annotation):
+                ids.add(id(sub))
+    return ids
+
+
+@register
+class TypeCheckingNameAtRuntime(Rule):
+    """Flag runtime use of TYPE_CHECKING-only imports."""
+
+    code = "R8"
+    name = "TYPE_CHECKING import used at runtime"
+    fix_hint = (
+        "move the import out of the TYPE_CHECKING block, or keep the "
+        "use inside an annotation (string form under PEP 563)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        guarded: set[str] = set()
+        guarded_blocks: list[ast.If] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+                guarded_blocks.append(node)
+                guarded |= _imported_names(node.body)
+        if not guarded:
+            return
+        inside_guard: set[int] = set()
+        for block in guarded_blocks:
+            for sub in ast.walk(block):
+                inside_guard.add(id(sub))
+        annotation_ids = _annotation_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Name):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if node.id not in guarded:
+                continue
+            if id(node) in annotation_ids or id(node) in inside_guard:
+                continue
+            yield self.make(
+                ctx,
+                node,
+                f"'{node.id}' is imported under TYPE_CHECKING only and "
+                f"does not exist at runtime here",
+            )

@@ -1,0 +1,130 @@
+"""Inline suppressions: ``# lint: ignore[R3]`` comments.
+
+A finding is suppressed when a comment on its line names its rule code:
+
+.. code-block:: python
+
+    return self.lows == other.lows  # lint: ignore[R1] -- exact identity
+
+Several codes may be listed (``# lint: ignore[R1,R5]``); anything after
+``--`` is a free-form justification, which this codebase requires for
+every suppression it ships.  Suppressions that suppress nothing are
+themselves findings (rule ``R9``), so baselined exceptions cannot
+outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9,\s]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``lint: ignore`` comment and the codes it has absorbed."""
+
+    line: int
+    codes: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+    def unused_codes(self) -> list[str]:
+        """The listed codes that suppressed no finding."""
+        return [c for c in self.codes if c not in self.used]
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Parse every ``lint: ignore`` comment, keyed by line number.
+
+    Tokenises rather than regex-scanning raw lines so the marker is only
+    honoured in real comments, never inside string literals.
+    """
+    found: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _IGNORE_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(
+                c.strip().upper() for c in match.group(1).split(",") if c.strip()
+            )
+            if codes:
+                found[tok.start[0]] = Suppression(line=tok.start[0], codes=codes)
+    except tokenize.TokenError:  # pragma: no cover - driver parses first
+        pass  # unparseable tail; the parse-error finding covers it
+    return found
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: dict[int, Suppression]
+) -> list[Finding]:
+    """Drop findings matched by a same-line suppression, marking it used.
+
+    ``R9`` findings (unused suppressions) are never themselves
+    suppressible — that would defeat the rot check.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if (
+            suppression is not None
+            and finding.code != UnusedSuppression.code
+            and finding.code in suppression.codes
+        ):
+            suppression.used.add(finding.code)
+            continue
+        kept.append(finding)
+    return kept
+
+
+@register
+class UnusedSuppression(Rule):
+    """R9 — a ``lint: ignore`` comment whose codes suppressed nothing.
+
+    Emitted by the driver after suppression matching (a rule cannot see
+    other rules' findings); the class exists so the code shows up in
+    ``--list-rules`` and validates in ``--select``/``--ignore``.
+    """
+
+    code = "R9"
+    name = "unused lint suppression"
+    fix_hint = "delete the stale ignore comment, or narrow its codes"
+
+    def applies_to(self, posix: str) -> bool:
+        return False  # driven by the driver, not the per-rule loop
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+def unused_suppression_findings(
+    ctx: FileContext, suppressions: dict[int, Suppression]
+) -> list[Finding]:
+    """R9 findings for every suppression code that matched no finding."""
+    rule = UnusedSuppression()
+    out: list[Finding] = []
+    for suppression in suppressions.values():
+        for code in suppression.unused_codes():
+            out.append(
+                Finding(
+                    path=ctx.posix,
+                    line=suppression.line,
+                    col=1,
+                    code=rule.code,
+                    message=f"suppression of {code} suppressed no finding",
+                    severity=rule.severity,
+                    fix_hint=rule.fix_hint,
+                )
+            )
+    return out

@@ -10,6 +10,10 @@ those quantities observable:
   free of pages, with exact I/O counters and per-size-class accounting.
 - :class:`~repro.storage.buffer.BufferPool` — an LRU read-through cache on
   top of a store, distinguishing logical from physical reads.
+- :class:`~repro.storage.interface.Storage` — the protocol both
+  implement, which is all the index structures in :mod:`repro.core` are
+  allowed to depend on (lint rule R3); :func:`default_store` builds the
+  default backend for callers that do not supply one.
 - :class:`~repro.storage.stats.IOStats` — the counter bundle.
 
 Pages store live Python objects rather than serialised bytes: every claim
@@ -20,7 +24,16 @@ of a page (see §7.3 multiple page sizes) used by the analysis module.
 """
 
 from repro.storage.buffer import BufferPool
+from repro.storage.interface import Storage, default_store
 from repro.storage.pager import PageStore
-from repro.storage.stats import IOStats
+from repro.storage.stats import BufferStats, IOStats, SizeClassStats
 
-__all__ = ["BufferPool", "IOStats", "PageStore"]
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "IOStats",
+    "PageStore",
+    "SizeClassStats",
+    "Storage",
+    "default_store",
+]

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import StorageError
 from repro.storage.pager import PageStore
-from repro.storage.stats import BufferStats
+from repro.storage.stats import BufferStats, SizeClassStats
 
 
 class BufferPool:
@@ -60,7 +60,7 @@ class BufferPool:
         """Pass through to the store."""
         return self.store.size_class_of(page_id)
 
-    def page_ids(self):
+    def page_ids(self) -> Iterator[int]:
         """Pass through to the store."""
         return self.store.page_ids()
 
@@ -72,7 +72,7 @@ class BufferPool:
         """Pass through to the store."""
         return self.store.live_bytes()
 
-    def class_stats(self):
+    def class_stats(self) -> dict[int, SizeClassStats]:
         """Pass through to the store."""
         return self.store.class_stats()
 

@@ -1,0 +1,33 @@
+"""Fixtures for linting synthetic source snippets.
+
+The domain rules scope themselves by path (``repro/geometry/``,
+``repro/core/``, ``__init__.py`` …), so each snippet is written to a
+path that mimics the library layout under ``tmp_path`` before linting.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import lint_file
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write ``source`` at ``relpath`` under tmp_path and lint it."""
+
+    def run(relpath: str, source: str):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        return target, lint_file(target)
+
+    return run
+
+
+def codes(findings) -> list[str]:
+    """The rule codes of a findings list, in order."""
+    return [f.code for f in findings]

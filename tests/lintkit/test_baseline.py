@@ -1,0 +1,93 @@
+"""Baseline files: recording, subtraction, staleness detection."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lintkit import lint_paths, load_baseline, write_baseline
+
+from tests.lintkit.conftest import codes
+
+BAD_GEOMETRY = """
+def on_boundary(x):
+    return x == 0.5
+"""
+
+
+@pytest.fixture
+def project(tmp_path):
+    mod = tmp_path / "proj" / "repro" / "geometry" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(textwrap.dedent(BAD_GEOMETRY))
+    return tmp_path / "proj", mod
+
+
+class TestBaselineRoundTrip:
+    def test_recorded_findings_are_subtracted(self, project, tmp_path):
+        root, _ = project
+        baseline = tmp_path / "baseline.json"
+        findings = lint_paths([root])
+        assert codes(findings) == ["R1"]
+        write_baseline(baseline, findings)
+        assert lint_paths([root], baseline_path=baseline) == []
+
+    def test_baseline_is_versioned_json(self, project, tmp_path):
+        root, _ = project
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([root]))
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        entry = payload["entries"][0]
+        assert entry["code"] == "R1"
+        assert "line" not in entry  # fingerprints survive unrelated edits
+
+    def test_new_finding_still_surfaces(self, project, tmp_path):
+        root, mod = project
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([root]))
+        mod.write_text(
+            mod.read_text() + "\n\ndef worse(y):\n    return y != 0.25\n"
+        )
+        remaining = lint_paths([root], baseline_path=baseline)
+        assert codes(remaining) == ["R1"]
+        assert remaining[0].line >= 5
+
+    def test_fixed_finding_turns_stale(self, project, tmp_path):
+        root, mod = project
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([root]))
+        mod.write_text("def on_boundary(x):\n    return x > 0.5\n")
+        remaining = lint_paths([root], baseline_path=baseline)
+        assert codes(remaining) == ["B1"]
+        assert "baseline" in remaining[0].message
+
+    def test_empty_baseline_changes_nothing(self, project, tmp_path):
+        root, _ = project
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [])
+        assert codes(lint_paths([root], baseline_path=baseline)) == ["R1"]
+
+
+class TestBaselineErrors:
+    def test_missing_baseline_file_raises(self, project, tmp_path):
+        root, _ = project
+        with pytest.raises(ReproError):
+            lint_paths([root], baseline_path=tmp_path / "absent.json")
+
+    def test_corrupt_baseline_raises(self, project, tmp_path):
+        root, _ = project
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("not json at all")
+        with pytest.raises(ReproError):
+            lint_paths([root], baseline_path=corrupt)
+
+    def test_load_baseline_counts_duplicates(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        entry = {"path": "a.py", "code": "R1", "message": "m"}
+        baseline.write_text(
+            json.dumps({"version": 1, "entries": [entry, entry]})
+        )
+        counts = load_baseline(baseline)
+        assert counts[("a.py", "R1", "m")] == 2

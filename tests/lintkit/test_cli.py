@@ -1,0 +1,126 @@
+"""Exit codes and output formats of the lint CLI, and the repro dispatch."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lintkit.cli import main as lint_main
+
+BAD_GEOMETRY = """
+def on_boundary(x):
+    return x == 0.5
+"""
+
+CLEAN_MODULE = """
+def on_boundary(x, cell):
+    return cell == 3
+"""
+
+
+@pytest.fixture
+def bad_root(tmp_path):
+    mod = tmp_path / "bad" / "repro" / "geometry" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(textwrap.dedent(BAD_GEOMETRY))
+    return tmp_path / "bad"
+
+
+@pytest.fixture
+def clean_root(tmp_path):
+    mod = tmp_path / "clean" / "repro" / "geometry" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(textwrap.dedent(CLEAN_MODULE))
+    return tmp_path / "clean"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_root, capsys):
+        assert lint_main([str(clean_root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_root, capsys):
+        assert lint_main([str(bad_root)]) == 1
+        out = capsys.readouterr().out
+        assert "R1" in out and "error" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert lint_main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_code_is_usage_error(self, clean_root, capsys):
+        assert lint_main([str(clean_root), "--select", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
+
+    def test_syntax_error_reports_p0(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n")
+        assert lint_main([str(broken)]) == 1
+        assert "P0" in capsys.readouterr().out
+
+
+class TestOutputAndFilters:
+    def test_json_format_is_parseable(self, bad_root, capsys):
+        assert lint_main([str(bad_root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["code"] == "R1"
+        assert finding["path"].endswith("mod.py")
+        assert finding["line"] == 3
+
+    def test_select_keeps_only_named_codes(self, bad_root, capsys):
+        assert lint_main([str(bad_root), "--select", "R3"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_drops_named_codes(self, bad_root, capsys):
+        assert lint_main([str(bad_root), "--ignore", "R1"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]:
+            assert code in out
+        assert "P0" in out and "B1" in out
+
+    def test_text_output_names_file_and_hint(self, bad_root, capsys):
+        lint_main([str(bad_root)])
+        out = capsys.readouterr().out
+        assert "mod.py:3" in out
+        assert "fix:" in out
+
+
+class TestBaselineFlags:
+    def test_write_then_apply_baseline(self, bad_root, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad_root), "--write-baseline", str(baseline)]) == 0
+        assert "1 finding(s)" in capsys.readouterr().out
+        assert lint_main([str(bad_root), "--baseline", str(baseline)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_stale_baseline_fails_the_gate(self, clean_root, bad_root, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(bad_root), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        assert lint_main([str(clean_root), "--baseline", str(baseline)]) == 1
+        assert "B1" in capsys.readouterr().out
+
+
+class TestReproDispatch:
+    def test_repro_lint_subcommand(self, clean_root, capsys):
+        assert repro_main(["lint", str(clean_root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_lint_propagates_failure(self, bad_root, capsys):
+        assert repro_main(["lint", str(bad_root)]) == 1
+        assert "R1" in capsys.readouterr().out
+
+    def test_repro_lint_forwards_leading_options(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "R9" in capsys.readouterr().out

@@ -1,0 +1,429 @@
+"""Per-rule fixtures: a bad snippet that must fire, a good one that must not."""
+
+from tests.lintkit.conftest import codes
+
+
+class TestR1FloatEquality:
+    def test_flags_float_literal_comparison(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def on_boundary(x):
+                return x == 0.5
+            """,
+        )
+        assert codes(findings) == ["R1"]
+
+    def test_flags_coordinate_attribute_comparison(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def same_box(a, b):
+                return a.lows == b.lows and a.highs != b.highs
+            """,
+        )
+        assert codes(findings) == ["R1", "R1"]
+
+    def test_flags_division_result_comparison(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/spatial.py",
+            """
+            def midpoint_is(lo, hi, x):
+                return (lo + hi) / 2 == x
+            """,
+        )
+        assert codes(findings) == ["R1"]
+
+    def test_integer_comparison_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def same_depth(a, b):
+                return a.nbits == b.nbits and len(a) != 3
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/analysis/mod.py",
+            """
+            def close_enough(x):
+                return x == 0.5
+            """,
+        )
+        assert findings == []
+
+
+class TestR2EntriesMutation:
+    def test_flags_remove_during_iteration(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def prune(node):
+                for e in node.entries:
+                    if e.level == 0:
+                        node.entries.remove(e)
+            """,
+        )
+        assert "R2" in codes(findings)
+
+    def test_flags_node_add_during_iteration(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def widen(node, extra):
+                for e in node.entries:
+                    node.add(extra)
+            """,
+        )
+        assert "R2" in codes(findings)
+
+    def test_flags_subscript_assignment(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def swap(node, e2):
+                for e in node.entries:
+                    node.entries[0] = e2
+            """,
+        )
+        assert "R2" in codes(findings)
+
+    def test_iterating_a_copy_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def prune(node):
+                for e in list(node.entries):
+                    if e.level == 0:
+                        node.entries.remove(e)
+            """,
+        )
+        assert findings == []
+
+    def test_mutating_a_different_node_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def migrate(source, target):
+                for e in source.entries:
+                    target.entries.append(e)
+            """,
+        )
+        assert findings == []
+
+
+class TestR3CorePagerLayering:
+    def test_flags_pager_module_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            "from repro.storage.pager import PageStore\n",
+        )
+        assert codes(findings) == ["R3"]
+
+    def test_flags_concrete_type_from_facade(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            "from repro.storage import PageStore\n",
+        )
+        assert codes(findings) == ["R3"]
+
+    def test_flags_plain_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            "import repro.storage.pager\n",
+        )
+        assert codes(findings) == ["R3"]
+
+    def test_protocol_import_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            "from repro.storage import Storage, default_store\n",
+        )
+        assert findings == []
+
+    def test_pager_import_outside_core_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/baselines/mod.py",
+            "from repro.storage.pager import PageStore\n",
+        )
+        assert findings == []
+
+
+class TestR4MutatorsTouchStats:
+    def test_flags_mutation_without_stats(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/ops.py",
+            """
+            def bulk_insert(tree, points):
+                for p in points:
+                    tree.count += 1
+            """,
+        )
+        assert codes(findings) == ["R4"]
+
+    def test_flags_store_write_without_stats(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/ops.py",
+            """
+            def rewrite(tree, page, content):
+                tree.store.write(page, content)
+            """,
+        )
+        assert codes(findings) == ["R4"]
+
+    def test_stats_touch_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/ops.py",
+            """
+            def bulk_insert(tree, points):
+                for p in points:
+                    tree.count += 1
+                    tree.stats.inserts += 1
+            """,
+        )
+        assert findings == []
+
+    def test_private_helper_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/ops.py",
+            """
+            def _rebalance(tree):
+                tree.height += 1
+            """,
+        )
+        assert findings == []
+
+    def test_read_only_function_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/ops.py",
+            """
+            def measure(tree):
+                return tree.count / max(1, tree.height)
+            """,
+        )
+        assert findings == []
+
+
+class TestR5SilentExcept:
+    def test_flags_bare_except(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def guarded(op):
+                try:
+                    return op()
+                except:
+                    return None
+            """,
+        )
+        assert codes(findings) == ["R5"]
+
+    def test_flags_silently_swallowed_library_error(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def guarded(op):
+                try:
+                    op()
+                except TreeInvariantError:
+                    pass
+            """,
+        )
+        assert codes(findings) == ["R5"]
+
+    def test_flags_swallowed_tuple_member(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def guarded(op):
+                try:
+                    op()
+                except (ValueError, ReproError):
+                    ...
+            """,
+        )
+        assert codes(findings) == ["R5"]
+
+    def test_handled_library_error_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def contains(tree, point):
+                try:
+                    tree.get(point)
+                except KeyNotFoundError:
+                    return False
+                return True
+            """,
+        )
+        assert findings == []
+
+    def test_silent_foreign_error_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def best_effort(op):
+                try:
+                    op()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+class TestR6AllExports:
+    def test_flags_public_name_missing_from_all(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/__init__.py",
+            """
+            from math import sqrt
+
+            EPSILON = 1
+            __all__ = ["sqrt"]
+            """,
+        )
+        assert codes(findings) == ["R6"]
+        assert "EPSILON" in findings[0].message
+
+    def test_flags_unbound_name_in_all(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/__init__.py",
+            """
+            from math import sqrt
+
+            __all__ = ["sqrt", "vanished"]
+            """,
+        )
+        assert codes(findings) == ["R6"]
+        assert "vanished" in findings[0].message
+
+    def test_flags_missing_all_entirely(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/__init__.py",
+            "from math import sqrt\n",
+        )
+        assert codes(findings) == ["R6"]
+
+    def test_flags_duplicate_entry(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/__init__.py",
+            """
+            from math import sqrt
+
+            __all__ = ["sqrt", "sqrt"]
+            """,
+        )
+        assert codes(findings) == ["R6"]
+
+    def test_consistent_all_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/__init__.py",
+            """
+            from math import sqrt
+
+            __version__ = "1.0"
+            __all__ = ["__version__", "sqrt"]
+            """,
+        )
+        assert findings == []
+
+    def test_non_init_module_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/helpers.py",
+            "from math import sqrt\n",
+        )
+        assert findings == []
+
+
+class TestR7AssertForInvariants:
+    def test_flags_assert_in_library_code(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def narrow(node):
+                assert node is not None
+                return node
+            """,
+        )
+        assert codes(findings) == ["R7"]
+
+    def test_raise_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def narrow(node):
+                if node is None:
+                    raise TreeInvariantError("missing node")
+                return node
+            """,
+        )
+        assert findings == []
+
+    def test_test_code_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/tests/test_mod.py",
+            """
+            def test_narrow():
+                assert 1 + 1 == 2
+            """,
+        )
+        assert findings == []
+
+    def test_non_library_code_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/scripts/mod.py",
+            """
+            def narrow(node):
+                assert node is not None
+            """,
+        )
+        assert findings == []
+
+
+class TestR8TypeCheckingOnly:
+    def test_flags_runtime_use_of_guarded_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.tree import BVTree
+
+            def is_tree(x):
+                return isinstance(x, BVTree)
+            """,
+        )
+        assert codes(findings) == ["R8"]
+
+    def test_annotation_use_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from __future__ import annotations
+
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.tree import BVTree
+
+            def height(tree: BVTree) -> int:
+                return tree.height
+            """,
+        )
+        assert findings == []
+
+    def test_unguarded_import_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from repro.core.tree import BVTree
+
+            def is_tree(x):
+                return isinstance(x, BVTree)
+            """,
+        )
+        assert findings == []

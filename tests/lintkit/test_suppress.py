@@ -1,0 +1,107 @@
+"""Inline suppression behaviour: matching, R9 rot detection, parsing."""
+
+from repro.lintkit import scan_suppressions
+
+from tests.lintkit.conftest import codes
+
+
+class TestSuppressionMatching:
+    def test_used_suppression_silences_finding(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def on_boundary(x):
+                return x == 0.5  # lint: ignore[R1] -- grid-aligned constant
+            """,
+        )
+        assert findings == []
+
+    def test_one_comment_covers_all_same_line_findings(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def same(a, b):
+                return a.lows == b.lows and a.highs == b.highs  # lint: ignore[R1] -- identity
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_on_wrong_line_does_not_match(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            # lint: ignore[R1] -- wishful thinking, wrong line
+            def on_boundary(x):
+                return x == 0.5
+            """,
+        )
+        assert sorted(codes(findings)) == ["R1", "R9"]
+
+    def test_wrong_code_does_not_match(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            """
+            def on_boundary(x):
+                return x == 0.5  # lint: ignore[R3] -- not a layering issue
+            """,
+        )
+        assert sorted(codes(findings)) == ["R1", "R9"]
+
+    def test_multiple_codes_in_one_comment(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def narrow(tree, node):
+                assert node is not None  # lint: ignore[R7, R1] -- R1 unused here
+                return node
+            """,
+        )
+        # R7 is suppressed; the listed-but-unused R1 becomes an R9 finding.
+        assert codes(findings) == ["R9"]
+        assert "R1" in findings[0].message
+
+
+class TestUnusedSuppression:
+    def test_unused_suppression_is_reported(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            LIMIT = 3  # lint: ignore[R1] -- suppresses nothing
+            """,
+        )
+        assert codes(findings) == ["R9"]
+
+    def test_r9_is_not_self_suppressible(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            LIMIT = 3  # lint: ignore[R9] -- trying to hide the rot check
+            """,
+        )
+        assert codes(findings) == ["R9"]
+
+
+class TestScanSuppressions:
+    def test_marker_in_string_literal_is_ignored(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/geometry/mod.py",
+            '''
+            MARKER = "# lint: ignore[R1]"
+
+            def on_boundary(x):
+                return x == 0.5
+            ''',
+        )
+        assert codes(findings) == ["R1"]
+
+    def test_scan_returns_line_and_codes(self):
+        source = "x = 1\ny = 2  # lint: ignore[R3,R5] -- reason\n"
+        suppressions = scan_suppressions(source)
+        assert list(suppressions) == [2]
+        assert suppressions[2].codes == ("R3", "R5")
+        assert suppressions[2].unused_codes() == ["R3", "R5"]
+
+    def test_codes_are_case_normalised(self):
+        source = "y = 2  # lint: ignore[r3] -- lower case\n"
+        suppressions = scan_suppressions(source)
+        assert suppressions[1].codes == ("R3",)
