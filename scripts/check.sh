@@ -19,4 +19,7 @@ fi
 echo "== tests =="
 python -m pytest -x -q
 
+echo "== perf smoke =="
+python -m repro perf --scale smoke --no-write >/dev/null
+
 echo "all checks passed"

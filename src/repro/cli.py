@@ -6,6 +6,7 @@
     python -m repro thresholds                 # §7.2/§7.3 file-size claims
     python -m repro demo --workload clustered  # build a BV-tree, show stats
     python -m repro compare --n 10000          # BV vs the baselines
+    python -m repro perf --scale smoke         # wall-clock benchmark suite
     python -m repro lint src/repro tests       # domain-aware static analysis
 """
 
@@ -153,6 +154,44 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the perf harness pulls in the scenario suite and
+    # storage backends the analysis subcommands never need.
+    from repro.perf import (
+        SuiteResult,
+        default_path,
+        render_text,
+        resolve_scale,
+        run_suite,
+    )
+
+    scale = resolve_scale(
+        args.scale,
+        n_points=args.n,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    # Load the baseline before the (potentially long) run so a bad path
+    # fails in milliseconds, not after the whole suite has been timed.
+    baseline = SuiteResult.load(args.baseline) if args.baseline else None
+    progress = None
+    if args.format == "text":
+        def progress(name: str) -> None:
+            print(f"  running {name} ...", file=sys.stderr)
+    result = run_suite(scale, suite=args.suite, only=args.only, progress=progress)
+    if args.format == "json":
+        print(result.to_json(), end="")
+    else:
+        print(render_text(result, baseline=baseline))
+    if not args.no_write:
+        out = args.out if args.out else default_path(args.suite)
+        written = result.write(out)
+        if args.format == "text":
+            print(f"\nwrote {written}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: linting pulls in the whole rule registry, which the
     # analysis/demo subcommands never need.
@@ -181,6 +220,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fanouts", type=int, nargs="+", default=[24, 120])
     p.add_argument("--page-bytes", type=int, default=1024)
     p.set_defaults(func=_cmd_thresholds)
+
+    p = sub.add_parser(
+        "perf",
+        help="run the wall-clock benchmark suite",
+        description=(
+            "Times the core operation suite (insert, bulk_load, "
+            "exact_match, range, range_rectpath, knn, buffered_get) and "
+            "writes BENCH_<suite>.json at the repository root; see "
+            "docs/PERFORMANCE.md."
+        ),
+    )
+    p.add_argument(
+        "--scale", choices=["full", "smoke"], default="full",
+        help="preset sizing (full: 50k points; smoke: 2k, for CI)",
+    )
+    p.add_argument("--suite", default="core", help="suite name for the output file")
+    p.add_argument("--n", type=int, default=None, help="override n_points")
+    p.add_argument("--repeats", type=int, default=None, help="override timed repeats")
+    p.add_argument("--warmup", type=int, default=None, help="override warmup runs")
+    p.add_argument("--seed", type=int, default=None, help="override workload seed")
+    p.add_argument(
+        "--only", nargs="+", metavar="CASE", default=None,
+        help="run only the named cases",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--out", default=None,
+        help="result file path (default: BENCH_<suite>.json at the repo root)",
+    )
+    p.add_argument(
+        "--no-write", action="store_true",
+        help="print results without writing the snapshot file",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a previously written BENCH_*.json",
+    )
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
         "lint",

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import GeometryError, ReproError, TreeInvariantError
 from repro.core.node import DataPage, IndexNode
+from repro.geometry.bitgrid import key_min_dist_sq
 from repro.geometry.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,8 @@ class KNNResult:
 
 
 def _min_dist_sq(point: Sequence[float], rect: Rect) -> float:
+    """Reference lower bound via a decoded ``Rect`` (tests compare the
+    bit-native :func:`~repro.geometry.bitgrid.key_min_dist_sq` against it)."""
     total = 0.0
     for x, lo, hi in zip(point, rect.lows, rect.highs):
         if x < lo:
@@ -109,8 +112,9 @@ def nearest_neighbours(
                 f"index node: {type(node).__name__}"
             )
         for child in node.entries:
-            block = tree.space.key_rect(child.key)
-            d = _min_dist_sq(query, block)
+            # Bit-native lower bound: identical floats to decoding the
+            # block Rect first, without allocating it per visited entry.
+            d = key_min_dist_sq(tree.space, child.key, query)
             if len(best) < k or d <= -best[0][0]:
                 heapq.heappush(heap, (d, next(counter), child))
 

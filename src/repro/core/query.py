@@ -8,6 +8,15 @@ per-record filter handles.  The visit count is the range-query cost metric
 used in the [KSS+90]-style comparison against Z-order linearisation: the
 BV-tree's region set contracts to the occupied part of the space, which is
 exactly what that study found linear orderings cannot do.
+
+Pruning is *bit-native*: the query box is converted once into per-dimension
+integer cell cut-offs (:func:`repro.geometry.bitgrid.query_cell_bounds`)
+and every visited block is tested by integer prefix arithmetic on its key —
+no float ``Rect`` is allocated per visit.  The integer test is exactly
+equivalent to the float one (see :mod:`repro.geometry.bitgrid`), so the
+visit set and all page-access counts are identical;
+:func:`range_query_rectpath` keeps the original float-rect pruning for
+benchmark comparison and as an equivalence oracle in the tests.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import GeometryError
 from repro.core.node import DataPage, IndexNode
+from repro.geometry.bitgrid import key_intersects, query_cell_bounds
 from repro.geometry.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,10 +57,52 @@ def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
         )
     result = QueryResult()
     space = tree.space
+    bounds = query_cell_bounds(space, rect)
+    ndim = space.ndim
+    resolution = space.resolution
+    read = tree.store.read
+    contains = rect.contains_point
     stack = [tree.root_entry()]
     while stack:
         entry = stack.pop()
-        if not space.key_rect(entry.key).intersects(rect):
+        key = entry.key
+        if not key_intersects(key.value, key.nbits, ndim, resolution, bounds):
+            continue
+        result.pages_visited += 1
+        if entry.level == 0:
+            result.data_pages_visited += 1
+            page: DataPage = read(entry.page)
+            for point, value in page.records.values():
+                if contains(point):
+                    result.records.append((point, value))
+        else:
+            node: IndexNode = read(entry.page)
+            stack.extend(node.entries)
+    return result
+
+
+def range_query_rectpath(tree: "BVTree", rect: Rect) -> QueryResult:
+    """The seed float-rect range query, kept for benchmark comparison.
+
+    Decodes every visited block into a fresh float :class:`Rect`
+    (:meth:`~repro.geometry.space.DataSpace.decode_rect`, deliberately
+    uncached — the seed had no decode cache) and prunes with
+    :meth:`Rect.intersects` — the pre-optimisation hot path.  It visits
+    exactly the same pages as :func:`range_query` (the perf harness and
+    the tests both assert this), just slower; keeping it callable is
+    what lets the ``BENCH_*.json`` trajectory quantify the bit-native
+    speedup instead of asserting it.
+    """
+    if rect.ndim != tree.space.ndim:
+        raise GeometryError(
+            f"query box is {rect.ndim}-d, space is {tree.space.ndim}-d"
+        )
+    result = QueryResult()
+    space = tree.space
+    stack = [tree.root_entry()]
+    while stack:
+        entry = stack.pop()
+        if not space.decode_rect(entry.key).intersects(rect):
             continue
         result.pages_visited += 1
         if entry.level == 0:
@@ -73,6 +125,13 @@ def partial_match(tree: "BVTree", constraints: dict[int, float]) -> QueryResult:
     given values match.  Unconstrained dimensions span their full domain.
     """
     space = tree.space
+    # Validate the constraint keys before any interval math: a caller
+    # constraining a dimension that does not exist must hear about that
+    # first, not about whichever per-dimension range problem the loop
+    # happens to trip over earlier.
+    unknown = set(constraints) - set(range(space.ndim))
+    if unknown:
+        raise GeometryError(f"constraints on unknown dimensions {sorted(unknown)}")
     if not constraints:
         return range_query(tree, space.whole_rect())
     cells = 1 << space.resolution
@@ -93,7 +152,4 @@ def partial_match(tree: "BVTree", constraints: dict[int, float]) -> QueryResult:
         else:
             lows.append(lo)
             highs.append(hi)
-    unknown = set(constraints) - set(range(space.ndim))
-    if unknown:
-        raise GeometryError(f"constraints on unknown dimensions {sorted(unknown)}")
     return range_query(tree, Rect(lows, highs))

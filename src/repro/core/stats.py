@@ -23,6 +23,10 @@ class OpCounters:
 
     inserts: int = 0
     deletes: int = 0
+    #: Records loaded through :meth:`~repro.core.tree.BVTree.bulk_load`
+    #: (which plans splits up front, so they are *not* counted as
+    #: ``inserts``; its planned page splits do count as ``data_splits``).
+    bulk_loaded: int = 0
     data_splits: int = 0
     index_splits: int = 0
     promotions: int = 0

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.errors import KeyNotFoundError, TreeInvariantError
+from repro.core import bulk as _bulk
 from repro.core import insert as _insert
 from repro.core import delete as _delete
 from repro.core import query as _query
@@ -187,6 +188,30 @@ class BVTree:
             raise KeyNotFoundError(f"no record at {tuple(point)}")
         return record[1]
 
+    def bulk_load(
+        self,
+        records: Iterator[tuple[Sequence[float], Any]] | Sequence[tuple[Sequence[float], Any]],
+        replace: bool = False,
+    ) -> int:
+        """Bulk-build this (empty) tree from ``(point, value)`` records.
+
+        Plans the final data-page partition over the sorted bit paths and
+        replays the planned splits through the standard placement
+        machinery — one structural operation per page instead of a full
+        descent per record, several times faster than repeated
+        :meth:`insert` at load scale (see ``docs/PERFORMANCE.md``).  The
+        result satisfies every invariant of an incrementally built tree
+        (:meth:`check` with ``check_owners=True`` passes) and answers all
+        queries identically.  Returns the number of records loaded.
+
+        Raises :class:`~repro.errors.ReproError` if the tree is not
+        empty, and :class:`~repro.errors.DuplicateKeyError` on records
+        with path-identical points unless ``replace`` is set (the last
+        such record in input order then wins, as repeated
+        ``insert(..., replace=True)`` would).
+        """
+        return _bulk.bulk_load(self, records, replace=replace)
+
     def update_many(
         self,
         records: Iterator[tuple[Sequence[float], Any]] | Sequence[tuple[Sequence[float], Any]],
@@ -199,12 +224,18 @@ class BVTree:
         return self.count - before
 
     def clear(self) -> None:
-        """Remove every record and page, resetting to an empty tree."""
+        """Remove every record and page, resetting to an empty tree.
+
+        The teardown traversal uses the store's uncounted
+        :meth:`~repro.storage.Storage.peek`, so clearing a tree does not
+        charge page reads — benchmarks that rebuild between runs start
+        from clean I/O counters.
+        """
         stack = [self.root_entry()]
         pages = []
         while stack:
             entry = stack.pop()
-            content = self.store.read(entry.page)
+            content = self.store.peek(entry.page)
             pages.append(entry.page)
             if isinstance(content, IndexNode):
                 stack.extend(content.entries)

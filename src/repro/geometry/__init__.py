@@ -13,10 +13,29 @@ file it generalises) is built on:
   paper requires.
 - :class:`~repro.geometry.rect.Rect` — axis-aligned boxes, used for range
   queries and for decoding region blocks back into coordinate space.
+- :mod:`~repro.geometry.bitgrid` — bit-native query geometry: integer
+  cell arithmetic that tests region blocks against query boxes and
+  points without decoding a float ``Rect`` per block, exactly equivalent
+  to the decoded-rect tests (the hot paths of range and k-NN queries).
 """
 
+from repro.geometry.bitgrid import (
+    CellBounds,
+    key_intersects,
+    key_min_dist_sq,
+    query_cell_bounds,
+)
 from repro.geometry.rect import Rect
 from repro.geometry.region import ROOT_KEY, RegionKey
 from repro.geometry.space import DataSpace
 
-__all__ = ["DataSpace", "Rect", "RegionKey", "ROOT_KEY"]
+__all__ = [
+    "CellBounds",
+    "DataSpace",
+    "Rect",
+    "RegionKey",
+    "ROOT_KEY",
+    "key_intersects",
+    "key_min_dist_sq",
+    "query_cell_bounds",
+]

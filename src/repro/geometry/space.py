@@ -24,6 +24,38 @@ from repro.geometry.rect import Rect
 from repro.geometry.region import RegionKey
 
 
+def _spread_masks(bits: int) -> tuple[tuple[int, int], ...]:
+    """Shift/mask steps that interleave zeros into a ``bits``-wide int.
+
+    Step ``(s, m)`` doubles the gap between surviving bit groups:
+    ``v = (v | (v << s)) & m``.  After all steps, bit ``i`` of the input
+    sits at bit ``2*i`` of the output.
+    """
+    steps = []
+    s = bits
+    while s > 1:
+        s >>= 1
+        block = (1 << s) - 1
+        mask = 0
+        pos = 0
+        while pos < 2 * bits:
+            mask |= block << pos
+            pos += 2 * s
+        steps.append((s, mask))
+    return tuple(steps)
+
+
+#: Steps for the maximum 64-bit per-dimension resolution.
+_SPREAD64 = _spread_masks(64)
+
+
+def _spread_bits(v: int) -> int:
+    """Bit ``i`` of ``v`` moved to bit ``2*i`` (Morton spreading)."""
+    for shift, mask in _SPREAD64:
+        v = (v | (v << shift)) & mask
+    return v
+
+
 class DataSpace:
     """A bounded data space with a fixed per-dimension bit resolution.
 
@@ -41,7 +73,13 @@ class DataSpace:
         partition and are treated as duplicates by the index structures.
     """
 
-    __slots__ = ("bounds", "resolution", "ndim", "path_bits", "_spans")
+    __slots__ = ("bounds", "resolution", "ndim", "path_bits", "_spans", "_rect_cache")
+
+    #: Capacity of the per-space :meth:`key_rect` decode cache.  Range
+    #: and k-NN pruning are bit-native and never hit this cache; it
+    #: serves the remaining decode users (checker, rendering, baselines)
+    #: whose key working sets are far smaller than this bound.
+    KEY_RECT_CACHE_SIZE = 4096
 
     def __init__(
         self,
@@ -69,6 +107,7 @@ class DataSpace:
         object.__setattr__(
             self, "_spans", tuple(hi - lo for lo, hi in checked)
         )
+        object.__setattr__(self, "_rect_cache", {})
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DataSpace is immutable")
@@ -77,6 +116,11 @@ class DataSpace:
     def unit(cls, ndim: int, resolution: int = 32) -> "DataSpace":
         """The unit cube ``[0, 1)^ndim``."""
         return cls([(0.0, 1.0)] * ndim, resolution=resolution)
+
+    @property
+    def spans(self) -> tuple[float, ...]:
+        """Per-dimension domain widths ``high - low``."""
+        return self._spans
 
     # ------------------------------------------------------------------
     # Point encoding
@@ -117,6 +161,13 @@ class DataSpace:
             raise DimensionMismatchError(
                 f"grid point has {len(grid)} dimensions, space has {self.ndim}"
             )
+        if self.ndim == 2:
+            # Morton spreading: a handful of shift/mask steps instead of
+            # a loop over every resolution level.  Identical output to
+            # the generic loop (the geometry tests assert it bit for
+            # bit); this is the hot encode step of insert and bulk_load.
+            g0, g1 = grid
+            return (_spread_bits(g0) << 1) | _spread_bits(g1)
         path = 0
         res = self.resolution
         for level in range(res - 1, -1, -1):
@@ -138,7 +189,40 @@ class DataSpace:
     # ------------------------------------------------------------------
 
     def key_rect(self, key: RegionKey) -> Rect:
-        """Decode a region key into its block's coordinate rectangle."""
+        """Decode a region key into its block's coordinate rectangle.
+
+        Decodes are memoised in a per-space LRU cache (key → ``Rect``);
+        both are immutable, so sharing the result is safe.  Traversals
+        that revisit the same region keys (checker sweeps, rendering,
+        the decode-based baselines) hit the cache instead of re-deriving
+        the box from the bit string.
+        """
+        if key.nbits > self.path_bits:
+            raise GeometryError(
+                f"key of {key.nbits} bits exceeds space depth {self.path_bits}"
+            )
+        cache = self._rect_cache
+        cached = cache.get(key)
+        if cached is not None:
+            # Refresh recency: dicts iterate in insertion order, so
+            # re-inserting implements least-recently-used eviction.
+            del cache[key]
+            cache[key] = cached
+            return cached
+        rect = self.decode_rect(key)
+        if len(cache) >= self.KEY_RECT_CACHE_SIZE:
+            del cache[next(iter(cache))]
+        cache[key] = rect
+        return rect
+
+    def decode_rect(self, key: RegionKey) -> Rect:
+        """Decode a region key into a fresh ``Rect``, bypassing the cache.
+
+        This is the raw decode :meth:`key_rect` memoises.  It exists
+        separately so cost comparisons against the pre-cache behaviour
+        stay possible (``repro perf`` times the seed's range-query path
+        through it); ordinary callers want :meth:`key_rect`.
+        """
         if key.nbits > self.path_bits:
             raise GeometryError(
                 f"key of {key.nbits} bits exceeds space depth {self.path_bits}"

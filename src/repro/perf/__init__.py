@@ -1,0 +1,58 @@
+"""Wall-clock microbenchmark harness.
+
+The page-access benchmarks under ``benchmarks/`` assert the paper's
+machine-independent cost claims and gate CI.  This subpackage measures
+what they deliberately ignore — how long the implementation actually
+takes — and records it as a committed trajectory:
+
+- :mod:`repro.perf.timer` — warmup/repeat measurement with the GC paused
+  during samples;
+- :mod:`repro.perf.registry` — :class:`Scale` presets, :class:`Case`
+  definitions and the :func:`benchmark` factory registry;
+- :mod:`repro.perf.scenarios` — the core suite (insert, bulk_load,
+  exact_match, range, range_rectpath, knn, buffered_get) over
+  :mod:`repro.workloads` generators;
+- :mod:`repro.perf.results` — JSON round-trip to ``BENCH_<suite>.json``
+  at the repository root, plus snapshot comparison;
+- :mod:`repro.perf.runner` — suite execution, derived metrics and the
+  text report.
+
+Run it with ``python -m repro perf`` (see ``docs/PERFORMANCE.md``).
+"""
+
+from repro.perf.registry import (
+    REGISTRY,
+    SCALES,
+    Case,
+    Scale,
+    benchmark,
+    resolve_scale,
+)
+from repro.perf.results import (
+    BenchResult,
+    SuiteResult,
+    compare,
+    default_path,
+)
+from repro.perf.runner import derive_metrics, render_text, run_suite
+from repro.perf.timer import Timing, measure
+from repro.perf import scenarios as scenarios  # registers the core suite
+
+__all__ = [
+    "BenchResult",
+    "Case",
+    "REGISTRY",
+    "SCALES",
+    "Scale",
+    "SuiteResult",
+    "Timing",
+    "benchmark",
+    "compare",
+    "default_path",
+    "derive_metrics",
+    "measure",
+    "render_text",
+    "resolve_scale",
+    "run_suite",
+    "scenarios",
+]

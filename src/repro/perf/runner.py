@@ -1,0 +1,176 @@
+"""Run a benchmark suite and render its results.
+
+``run_suite`` executes every registered case (or a selected subset) at a
+given :class:`~repro.perf.registry.Scale`, then computes the cross-case
+*derived* metrics the PR's acceptance criteria are stated in:
+
+- ``bulk_load_speedup`` — incremental-insert best over bulk-load best;
+- ``range_bitnative_speedup`` — float-rect-pruning best over bit-native
+  best for the identical query set;
+- ``range_pages_equal`` — whether the two range paths visited exactly
+  the same number of pages (they must: the integer pruning is proven
+  equivalent, and this check would catch a regression of that proof).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.bench.reporting import format_table
+from repro.perf import scenarios
+from repro.perf.registry import REGISTRY, Scale
+from repro.perf.results import BenchResult, SuiteResult, compare
+from repro.perf.timer import measure
+
+__all__ = ["derive_metrics", "render_text", "run_suite"]
+
+
+def run_suite(
+    scale: Scale,
+    suite: str = "core",
+    only: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SuiteResult:
+    """Execute the registered cases and assemble a :class:`SuiteResult`.
+
+    ``only`` restricts the run to the named cases (suite-level derived
+    metrics that need absent cases are simply omitted); ``progress`` is
+    called with each case name as it starts, for CLI feedback.
+    """
+    if only:
+        unknown = sorted(set(only) - set(REGISTRY))
+        if unknown:
+            raise ReproError(
+                f"unknown benchmark case(s) {unknown}; "
+                f"registered: {sorted(REGISTRY)}"
+            )
+    context = scenarios.build_context(scale)
+    results: list[BenchResult] = []
+    for name, factory in REGISTRY.items():
+        if only and name not in only:
+            continue
+        if progress is not None:
+            progress(name)
+        case = factory(scale, context)
+        timing = measure(
+            case.run,
+            setup=case.setup,
+            repeats=scale.repeats,
+            warmup=scale.warmup,
+        )
+        counters = (
+            case.counters(timing.last_result)
+            if case.counters is not None
+            else {}
+        )
+        results.append(
+            BenchResult(
+                name=case.name,
+                description=case.description,
+                ops=case.ops,
+                repeats=scale.repeats,
+                warmup=scale.warmup,
+                samples=timing.samples,
+                counters=counters,
+            )
+        )
+    created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    return SuiteResult(
+        suite=suite,
+        created=created,
+        scale=scale.to_dict(),
+        results=results,
+        derived=derive_metrics(results),
+    )
+
+
+def derive_metrics(results: list[BenchResult]) -> dict[str, Any]:
+    """Cross-case figures (see the module docstring)."""
+    by_name = {result.name: result for result in results}
+    derived: dict[str, Any] = {}
+    insert = by_name.get("insert")
+    bulk = by_name.get("bulk_load")
+    if insert is not None and bulk is not None:
+        derived["bulk_load_speedup"] = insert.best / bulk.best
+    native = by_name.get("range")
+    rectpath = by_name.get("range_rectpath")
+    if native is not None and rectpath is not None:
+        derived["range_bitnative_speedup"] = rectpath.best / native.best
+        derived["range_pages_equal"] = (
+            native.counters.get("pages_visited")
+            == rectpath.counters.get("pages_visited")
+        )
+        derived["range_records_equal"] = (
+            native.counters.get("records_found")
+            == rectpath.counters.get("records_found")
+        )
+    return derived
+
+
+def render_text(
+    result: SuiteResult, baseline: SuiteResult | None = None
+) -> str:
+    """A human-readable report (the CLI's default output)."""
+    rows = [
+        [
+            r.name,
+            r.ops,
+            f"{r.best * 1e3:.2f}",
+            f"{r.mean * 1e3:.2f}",
+            f"{r.per_op_us:.2f}",
+            " ".join(f"{k}={v}" for k, v in sorted(r.counters.items())),
+        ]
+        for r in result.results
+    ]
+    scale = result.scale
+    blocks = [
+        format_table(
+            ["case", "ops", "best ms", "mean ms", "us/op", "counters"],
+            rows,
+            title=(
+                f"suite {result.suite!r} at scale {scale.get('name')!r} "
+                f"(n={scale.get('n_points')}, dims={scale.get('dims')}, "
+                f"P={scale.get('data_capacity')}, F={scale.get('fanout')}, "
+                f"repeats={scale.get('repeats')})"
+            ),
+        )
+    ]
+    if result.derived:
+        derived_rows = [
+            [key, _fmt_derived(value)]
+            for key, value in sorted(result.derived.items())
+        ]
+        blocks.append(format_table(["derived metric", "value"], derived_rows))
+    if baseline is not None:
+        cmp_rows = []
+        for row in compare(baseline, result):
+            cmp_rows.append([
+                row["name"],
+                _fmt_ms(row["baseline_best"]),
+                _fmt_ms(row["current_best"]),
+                (
+                    f"{row['speedup']:.2f}x"
+                    if row["speedup"] is not None
+                    else "-"
+                ),
+            ])
+        blocks.append(format_table(
+            ["case", "baseline ms", "current ms", "speedup"],
+            cmp_rows,
+            title=f"vs baseline from {baseline.created}",
+        ))
+    return "\n\n".join(blocks)
+
+
+def _fmt_derived(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _fmt_ms(seconds: Any) -> str:
+    return f"{seconds * 1e3:.2f}" if seconds is not None else "-"

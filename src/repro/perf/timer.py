@@ -1,0 +1,104 @@
+"""Wall-clock measurement primitives.
+
+The page-access benchmarks under ``benchmarks/`` count I/O operations — a
+machine-independent cost model, which is why they gate CI.  This module
+measures the other axis: how long the Python implementation actually takes.
+Wall-clock numbers are machine-dependent, so the harness records them as a
+*trajectory* (``BENCH_*.json`` snapshots compared across commits on the
+same machine) rather than asserting absolute thresholds.
+
+Methodology is the standard microbenchmark recipe: untimed warmup runs to
+populate caches and JIT-warm nothing in particular (CPython has no JIT,
+but allocator pools and branch predictors do warm up), several timed
+repeats with the garbage collector disabled during each sample, and the
+*best* sample as the headline number — the minimum is the least noisy
+estimator of the code's cost because every source of interference only
+adds time ([Chen & Revels 2016]-style reasoning).
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+__all__ = ["Timing", "measure"]
+
+
+@dataclass
+class Timing:
+    """Samples from one measured benchmark case.
+
+    ``samples`` holds one wall-clock duration (seconds) per timed repeat;
+    ``last_result`` is whatever the final timed run returned, so counter
+    extraction can inspect real output without an extra untimed run.
+    """
+
+    samples: list[float]
+    last_result: Any = field(default=None, repr=False)
+
+    @property
+    def best(self) -> float:
+        """The minimum sample — the headline estimator (module docstring)."""
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median of the samples."""
+        return statistics.median(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0.0 for a single repeat)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+
+def measure(
+    run: Callable[[Any], Any],
+    setup: Callable[[], Any] | None = None,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Timing:
+    """Time ``run`` over ``warmup + repeats`` executions.
+
+    ``setup`` (untimed) is invoked before *every* execution and its return
+    value passed to ``run`` — benchmarks that mutate state (building a
+    tree, say) get a fresh subject per sample, so every sample measures
+    the same work.  Read-only benchmarks pass ``setup=None`` and receive
+    ``None``.  The garbage collector is paused around each timed section
+    so a collection triggered by one sample cannot be billed to another;
+    its prior enabled state is restored afterwards.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be at least 1, got {repeats}")
+    if warmup < 0:
+        raise ReproError(f"warmup must be non-negative, got {warmup}")
+    samples: list[float] = []
+    last_result: Any = None
+    for i in range(warmup + repeats):
+        state = setup() if setup is not None else None
+        timed = i >= warmup
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = perf_counter()
+            result = run(state)
+            elapsed = perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if timed:
+            samples.append(elapsed)
+            last_result = result
+    return Timing(samples=samples, last_result=last_result)

@@ -9,6 +9,9 @@ from repro.errors import StorageError
 from repro.storage.pager import PageStore
 from repro.storage.stats import BufferStats, SizeClassStats
 
+#: Distinguishes "page not cached" from a cached ``None`` payload.
+_ABSENT = object()
+
 
 class BufferPool:
     """Read-through, write-through LRU cache of pages.
@@ -80,15 +83,33 @@ class BufferPool:
         return page_id in self.store
 
     def read(self, page_id: int) -> Any:
-        """Read a page, from cache if resident."""
-        if page_id in self._cache:
-            self._cache.move_to_end(page_id)
+        """Read a page, from cache if resident.
+
+        The hit path is deliberately lean — one dict probe plus the LRU
+        touch — because every page access of a buffered index funnels
+        through here.
+        """
+        cache = self._cache
+        content = cache.get(page_id, _ABSENT)
+        if content is not _ABSENT:
+            cache.move_to_end(page_id)
             self.stats.hits += 1
-            return self._cache[page_id]
+            return content
         content = self.store.read(page_id)
         self.stats.misses += 1
         self._install(page_id, content)
         return content
+
+    def peek(self, page_id: int) -> Any:
+        """Read a page without touching hit/miss counters or LRU order.
+
+        Serves from the cache when resident (no recency update), and
+        otherwise peeks the underlying store without installing the page.
+        """
+        content = self._cache.get(page_id, _ABSENT)
+        if content is not _ABSENT:
+            return content
+        return self.store.peek(page_id)
 
     def write(self, page_id: int, content: Any) -> None:
         """Write a page through to the store and refresh the cache."""
@@ -96,8 +117,13 @@ class BufferPool:
         self._install(page_id, content)
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the cache (e.g. after it is freed)."""
-        if self._cache.pop(page_id, None) is not None or page_id not in self.store:
+        """Drop a page from the cache (e.g. after it is freed).
+
+        Only an invalidation that actually dropped a cached copy is
+        counted; a no-op call for a page that was never resident leaves
+        the counters untouched.
+        """
+        if self._cache.pop(page_id, _ABSENT) is not _ABSENT:
             self.stats.invalidations += 1
 
     def clear(self) -> None:

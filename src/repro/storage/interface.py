@@ -34,6 +34,14 @@ class Storage(Protocol):
     def read(self, page_id: int) -> Any:
         """Read a page's content (accounted)."""
 
+    def peek(self, page_id: int) -> Any:
+        """Read a page's content without touching any I/O counters.
+
+        For maintenance traversals (teardown, diagnostics) that must not
+        pollute the accounting the benchmarks read; never use it on a
+        path whose cost is part of a measured claim.
+        """
+
     def write(self, page_id: int, content: Any) -> None:
         """Overwrite a page's content (accounted)."""
 

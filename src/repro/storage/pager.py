@@ -84,6 +84,13 @@ class PageStore:
         self.stats.reads += 1
         return content
 
+    def peek(self, page_id: int) -> Any:
+        """Read a page's content without counting a page read."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(f"page {page_id} is not allocated") from None
+
     def write(self, page_id: int, content: Any) -> None:
         """Overwrite a page's content (counted as one page write)."""
         if page_id not in self._pages:

@@ -1,0 +1,149 @@
+"""Tests for bottom-up bulk loading."""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, ReproError
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from tests.conftest import make_points
+
+
+def build_pair(space, points, data_capacity=6, fanout=6):
+    """The same records loaded incrementally and in bulk."""
+    records = [(p, i) for i, p in enumerate(points)]
+    incremental = BVTree(space, data_capacity=data_capacity, fanout=fanout)
+    for point, value in records:
+        incremental.insert(point, value, replace=True)
+    bulk = BVTree(space, data_capacity=data_capacity, fanout=fanout)
+    bulk.bulk_load(records, replace=True)
+    return incremental, bulk
+
+
+class TestBulkLoadBasics:
+    def test_count_and_lookup(self, unit2):
+        points = make_points(500, 2, seed=3)
+        tree = BVTree(unit2, data_capacity=8, fanout=8)
+        loaded = tree.bulk_load([(p, i) for i, p in enumerate(points)])
+        assert loaded == len(points) == tree.count
+        for i, p in enumerate(points):
+            assert tree.get(p) == i
+            assert tree.get_fast(p) == i
+
+    def test_empty_input(self, unit2):
+        tree = BVTree(unit2)
+        assert tree.bulk_load([]) == 0
+        assert tree.count == 0
+        assert len(tree.range_query((0.0, 0.0), (1.0, 1.0))) == 0
+
+    def test_small_input_stays_in_root(self, unit2):
+        tree = BVTree(unit2, data_capacity=8, fanout=8)
+        tree.bulk_load([((0.1 * i, 0.2), i) for i in range(5)])
+        assert tree.height == 0
+        assert tree.stats.data_splits == 0
+        tree.check(check_owners=True)
+
+    def test_accepts_iterator_input(self, unit2):
+        tree = BVTree(unit2, data_capacity=8, fanout=8)
+        records = (((i / 64, (i * 7 % 64) / 64), i) for i in range(64))
+        assert tree.bulk_load(records) == 64
+
+    def test_invariants_hold(self, unit2):
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        tree.bulk_load([(p, i) for i, p in enumerate(make_points(1200, 2))])
+        tree.check(check_owners=True, sample_points=200)
+
+    def test_occupancy_guarantee(self, unit2):
+        tree = BVTree(unit2, data_capacity=9, fanout=9)
+        tree.bulk_load([(p, i) for i, p in enumerate(make_points(2000, 2))])
+        stats = tree.tree_stats()
+        assert stats.min_data_occupancy >= tree.policy.min_data_occupancy()
+
+    def test_three_dimensional(self, unit3):
+        incremental, bulk = build_pair(unit3, make_points(700, 3, seed=9))
+        bulk.check(check_owners=True)
+        assert bulk.count == incremental.count
+
+
+class TestBulkLoadContract:
+    def test_rejects_nonempty_tree(self, unit2):
+        tree = BVTree(unit2)
+        tree.insert((0.5, 0.5), "x")
+        with pytest.raises(ReproError):
+            tree.bulk_load([((0.1, 0.1), "y")])
+
+    def test_duplicate_paths_raise_without_replace(self, unit2):
+        tree = BVTree(unit2)
+        with pytest.raises(DuplicateKeyError):
+            tree.bulk_load([((0.5, 0.5), "a"), ((0.5, 0.5), "b")])
+
+    def test_replace_keeps_last_record_in_input_order(self, unit2):
+        tree = BVTree(unit2)
+        tree.bulk_load(
+            [((0.5, 0.5), "a"), ((0.25, 0.25), "m"), ((0.5, 0.5), "b")],
+            replace=True,
+        )
+        assert tree.count == 2
+        assert tree.get((0.5, 0.5)) == "b"
+
+    def test_usable_after_clear(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        points = make_points(300, 2, seed=5)
+        tree.bulk_load([(p, i) for i, p in enumerate(points)])
+        tree.clear()
+        assert tree.bulk_load([(p, i) for i, p in enumerate(points)]) == len(
+            points
+        )
+        tree.check(check_owners=True)
+
+    def test_counters(self, unit2):
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        tree.bulk_load([(p, i) for i, p in enumerate(make_points(400, 2))])
+        assert tree.stats.bulk_loaded == 400
+        assert tree.stats.inserts == 0
+        assert tree.stats.data_splits > 0
+
+
+class TestBulkMatchesIncremental:
+    def test_query_equivalence(self, unit2):
+        incremental, bulk = build_pair(unit2, make_points(900, 2, seed=13))
+        rng = random.Random(17)
+        for _ in range(30):
+            lows = tuple(rng.uniform(0, 0.8) for _ in range(2))
+            highs = tuple(lo + rng.uniform(0.05, 0.25) for lo in lows)
+            a = incremental.range_query(lows, highs)
+            b = bulk.range_query(lows, highs)
+            assert sorted(a.records) == sorted(b.records)
+
+    def test_knn_equivalence(self, unit2):
+        incremental, bulk = build_pair(unit2, make_points(600, 2, seed=23))
+        rng = random.Random(29)
+        for _ in range(20):
+            q = (rng.random(), rng.random())
+            a = incremental.nearest(q, k=7)
+            b = bulk.nearest(q, k=7)
+            assert [n.distance for n in a.neighbours] == [
+                n.distance for n in b.neighbours
+            ]
+
+    def test_deletion_after_bulk_load(self, unit2):
+        points = make_points(400, 2, seed=31)
+        tree = BVTree(unit2, data_capacity=6, fanout=6)
+        tree.bulk_load([(p, i) for i, p in enumerate(points)])
+        rng = random.Random(37)
+        rng.shuffle(points)
+        for p in points[:200]:
+            tree.delete(p)
+        tree.check(check_owners=True)
+        assert tree.count == 200
+
+
+class TestClearAccounting:
+    def test_clear_charges_no_reads(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        tree.bulk_load([(p, i) for i, p in enumerate(make_points(300, 2))])
+        reads_before = tree.store.stats.reads
+        tree.clear()
+        assert tree.store.stats.reads == reads_before
+        assert tree.count == 0

@@ -5,7 +5,9 @@ import random
 import pytest
 
 from repro.errors import GeometryError
+from repro.core.query import range_query_rectpath
 from repro.core.tree import BVTree
+from repro.geometry.rect import Rect
 from repro.geometry.space import DataSpace
 from tests.conftest import make_points
 
@@ -55,6 +57,36 @@ class TestRangeQuery:
         assert result.data_pages_visited <= result.pages_visited
 
 
+class TestRectPathEquivalence:
+    """Bit-native pruning must match the seed float-rect path exactly."""
+
+    def test_same_answers_and_same_page_counts(self, loaded_tree):
+        rng = random.Random(101)
+        for _ in range(40):
+            lows = tuple(rng.uniform(0, 0.9) for _ in range(2))
+            highs = tuple(lo + rng.uniform(0.01, 0.4) for lo in lows)
+            fast = loaded_tree.range_query(lows, highs)
+            slow = range_query_rectpath(loaded_tree, Rect(lows, highs))
+            assert sorted(fast.records) == sorted(slow.records)
+            assert fast.pages_visited == slow.pages_visited
+            assert fast.data_pages_visited == slow.data_pages_visited
+
+    def test_cell_aligned_edges(self, loaded_tree):
+        # Boundaries landing exactly on partition planes are where an
+        # inexact integer conversion would diverge from the float test.
+        cells = 1 << loaded_tree.space.resolution
+        for denom in (2, 4, 8, cells):
+            rect = Rect((1 / denom, 0.0), (2 / denom, 1 / denom))
+            fast = loaded_tree.range_query(rect.lows, rect.highs)
+            slow = range_query_rectpath(loaded_tree, rect)
+            assert sorted(fast.records) == sorted(slow.records)
+            assert fast.pages_visited == slow.pages_visited
+
+    def test_rectpath_dimension_mismatch(self, loaded_tree):
+        with pytest.raises(GeometryError):
+            range_query_rectpath(loaded_tree, Rect((0.0,), (1.0,)))
+
+
 class TestPartialMatch:
     def test_single_dimension_constraint(self, unit2):
         tree = BVTree(unit2, data_capacity=4, fanout=4)
@@ -97,6 +129,16 @@ class TestPartialMatch:
     def test_unknown_dimension_rejected(self, loaded_tree):
         with pytest.raises(GeometryError):
             loaded_tree.partial_match({5: 0.3})
+
+    def test_unknown_dimension_reported_before_domain_check(self, loaded_tree):
+        # A mixed-error call must fail on the unknown dimension, not on
+        # whichever out-of-domain value the interval loop meets first.
+        with pytest.raises(GeometryError, match="unknown dimensions"):
+            loaded_tree.partial_match({0: 99.0, 5: 0.2})
+
+    def test_unknown_dimension_rejected_even_outside_domain(self, loaded_tree):
+        with pytest.raises(GeometryError, match="unknown dimensions"):
+            loaded_tree.partial_match({7: 123.456})
 
     def test_constraint_outside_domain_rejected(self, loaded_tree):
         with pytest.raises(GeometryError):

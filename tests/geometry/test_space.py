@@ -1,5 +1,7 @@
 """Unit tests for the data space and bit-path encoding."""
 
+import random
+
 import pytest
 
 from repro.errors import (
@@ -156,3 +158,58 @@ class TestKeyRect:
 
     def test_repr(self):
         assert "resolution=16" in repr(DataSpace.unit(2, 16))
+
+
+class TestGridPathFastInterleave:
+    """The 2-d Morton fast path must match the generic interleave exactly."""
+
+    @staticmethod
+    def generic_interleave(grid, resolution):
+        path = 0
+        for level in range(resolution - 1, -1, -1):
+            for g in grid:
+                path = (path << 1) | ((g >> level) & 1)
+        return path
+
+    def test_matches_generic_loop_across_resolutions(self):
+        rng = random.Random(55)
+        for resolution in (1, 3, 8, 16, 20, 32, 64):
+            space = DataSpace.unit(2, resolution=resolution)
+            for _ in range(200):
+                grid = (rng.getrandbits(resolution), rng.getrandbits(resolution))
+                assert space.grid_path(grid) == self.generic_interleave(
+                    grid, resolution
+                )
+
+    def test_three_dimensions_use_generic_path(self):
+        space = DataSpace.unit(3, resolution=8)
+        grid = (0b10110001, 0b01011100, 0b11100010)
+        assert space.grid_path(grid) == self.generic_interleave(grid, 8)
+
+    def test_extremes(self):
+        space = DataSpace.unit(2, resolution=16)
+        full = (1 << 16) - 1
+        assert space.grid_path((0, 0)) == 0
+        assert space.grid_path((full, full)) == (1 << 32) - 1
+        # dim 0 occupies the more significant bit of each pair
+        assert space.grid_path((full, 0)) == int("10" * 16, 2)
+        assert space.grid_path((0, full)) == int("01" * 16, 2)
+
+
+class TestDecodeRect:
+    def test_decode_rect_matches_key_rect(self):
+        rng = random.Random(66)
+        space = DataSpace.unit(2, resolution=12)
+        for _ in range(100):
+            nbits = rng.randrange(0, space.path_bits + 1)
+            key = RegionKey(nbits, rng.getrandbits(nbits) if nbits else 0)
+            assert space.decode_rect(key) == space.key_rect(key)
+        # key_rect memoises, decode_rect never does
+        key = RegionKey(4, 0b1010)
+        assert space.key_rect(key) is space.key_rect(key)
+        assert space.decode_rect(key) is not space.decode_rect(key)
+
+    def test_decode_rect_rejects_deep_keys(self):
+        space = DataSpace.unit(1, resolution=2)
+        with pytest.raises(GeometryError):
+            space.decode_rect(RegionKey.from_bits("000"))

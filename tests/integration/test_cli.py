@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+PERF_TINY = [
+    "perf",
+    "--scale", "smoke",
+    "--n", "300",
+    "--repeats", "1",
+    "--warmup", "0",
+]
 
 
 class TestFigures:
@@ -59,6 +69,45 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "bv" in out and "kdb" in out
         assert "forced splits" in out
+
+
+class TestPerf:
+    def test_text_report_without_writing(self, capsys):
+        assert main(PERF_TINY + ["--no-write"]) == 0
+        out = capsys.readouterr().out
+        assert "bulk_load" in out
+        assert "range_rectpath" in out
+        assert "bulk_load_speedup" in out
+
+    def test_writes_snapshot_to_out_path(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_core.json"
+        assert main(PERF_TINY + ["--out", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["suite"] == "core"
+        assert data["scale"]["n_points"] == 300
+        names = [r["name"] for r in data["results"]]
+        assert {"insert", "bulk_load", "exact_match", "range", "knn"} <= set(
+            names
+        )
+        assert data["derived"]["range_pages_equal"] is True
+
+    def test_json_output(self, capsys):
+        assert main(
+            PERF_TINY + ["--no-write", "--format", "json", "--only", "exact_match"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in data["results"]] == ["exact_match"]
+
+    def test_baseline_comparison(self, capsys, tmp_path):
+        snapshot = tmp_path / "base.json"
+        assert main(PERF_TINY + ["--out", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main(
+            PERF_TINY + ["--no-write", "--baseline", str(snapshot)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "speedup" in out
 
 
 class TestParser:

@@ -1,0 +1,110 @@
+"""End-to-end tests of the benchmark runner (tiny scale)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.registry import REGISTRY, Scale
+from repro.perf.results import BenchResult
+from repro.perf.runner import derive_metrics, render_text, run_suite
+
+#: Small enough to run in well under a second, large enough to split.
+TINY = Scale(
+    name="smoke",
+    n_points=300,
+    n_queries=10,
+    n_range_queries=5,
+    n_knn_queries=3,
+    repeats=1,
+    warmup=0,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    return run_suite(TINY, suite="test")
+
+
+class TestRunSuite:
+    def test_runs_every_registered_case(self, suite_result):
+        assert [r.name for r in suite_result.results] == list(REGISTRY)
+
+    def test_scale_recorded(self, suite_result):
+        assert suite_result.scale["n_points"] == 300
+        assert suite_result.suite == "test"
+
+    def test_acceptance_counters_present(self, suite_result):
+        native = suite_result.result("range")
+        rectpath = suite_result.result("range_rectpath")
+        assert native.counters["pages_visited"] > 0
+        assert native.counters == rectpath.counters
+
+    def test_derived_metrics(self, suite_result):
+        derived = suite_result.derived
+        assert derived["bulk_load_speedup"] > 0
+        assert derived["range_bitnative_speedup"] > 0
+        assert derived["range_pages_equal"] is True
+        assert derived["range_records_equal"] is True
+
+    def test_only_selects_cases(self):
+        result = run_suite(TINY, only=["bulk_load", "exact_match"])
+        assert [r.name for r in result.results] == ["bulk_load", "exact_match"]
+        assert "bulk_load_speedup" not in result.derived
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ReproError):
+            run_suite(TINY, only=["nope"])
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite(TINY, only=["exact_match"], progress=seen.append)
+        assert seen == ["exact_match"]
+
+
+class TestDeriveMetrics:
+    def _result(self, name, best, counters=None):
+        return BenchResult(
+            name=name,
+            description=name,
+            ops=1,
+            repeats=1,
+            warmup=0,
+            samples=[best],
+            counters=counters or {},
+        )
+
+    def test_speedups(self):
+        derived = derive_metrics([
+            self._result("insert", 0.9),
+            self._result("bulk_load", 0.3),
+            self._result("range", 0.5, {"pages_visited": 7, "records_found": 3}),
+            self._result(
+                "range_rectpath", 1.0, {"pages_visited": 7, "records_found": 3}
+            ),
+        ])
+        assert derived["bulk_load_speedup"] == pytest.approx(3.0)
+        assert derived["range_bitnative_speedup"] == pytest.approx(2.0)
+        assert derived["range_pages_equal"] is True
+
+    def test_unequal_pages_flagged(self):
+        derived = derive_metrics([
+            self._result("range", 0.5, {"pages_visited": 7}),
+            self._result("range_rectpath", 1.0, {"pages_visited": 8}),
+        ])
+        assert derived["range_pages_equal"] is False
+
+    def test_partial_suites_skip_metrics(self):
+        assert derive_metrics([self._result("insert", 1.0)]) == {}
+
+
+class TestRenderText:
+    def test_report_mentions_cases_and_derived(self, suite_result):
+        text = render_text(suite_result)
+        for result in suite_result.results:
+            assert result.name in text
+        assert "bulk_load_speedup" in text
+        assert "range_pages_equal" in text
+
+    def test_baseline_comparison_section(self, suite_result):
+        text = render_text(suite_result, baseline=suite_result)
+        assert "vs baseline" in text
+        assert "1.00x" in text

@@ -1,0 +1,74 @@
+"""Property: bulk loading is observationally equivalent to insertion.
+
+Satellite of the bulk-loading PR: for any record set, the tree built by
+``bulk_load`` and the tree built by repeated ``insert`` must answer
+exact-match (both ``get`` and the registry-based ``get_fast``), range and
+partial-match queries identically, and both must satisfy every structural
+invariant including single-descent ownership.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+
+COORD = st.floats(
+    min_value=0.0, max_value=0.9375, allow_nan=False, width=32
+)
+POINTS = st.lists(
+    st.tuples(COORD, COORD), min_size=1, max_size=120, unique=True
+)
+
+
+def build_pair(points):
+    space = DataSpace.unit(2, resolution=12)
+    records = [(p, i) for i, p in enumerate(points)]
+    incremental = BVTree(space, data_capacity=4, fanout=4)
+    for point, value in records:
+        incremental.insert(point, value, replace=True)
+    bulk = BVTree(space, data_capacity=4, fanout=4)
+    bulk.bulk_load(records, replace=True)
+    return incremental, bulk
+
+
+class TestBulkEquivalence:
+    @given(POINTS)
+    @settings(max_examples=40, deadline=None)
+    def test_both_pass_full_check(self, points):
+        incremental, bulk = build_pair(points)
+        incremental.check(check_owners=True)
+        bulk.check(check_owners=True)
+        assert bulk.count == incremental.count
+
+    @given(POINTS)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_match_equivalence(self, points):
+        incremental, bulk = build_pair(points)
+        for point in points:
+            expected = incremental.get(point)
+            assert bulk.get(point) == expected
+            assert bulk.get_fast(point) == expected
+
+    @given(POINTS, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_range_equivalence(self, points, seed):
+        incremental, bulk = build_pair(points)
+        rng = random.Random(seed)
+        for _ in range(5):
+            lows = tuple(rng.uniform(0.0, 0.8) for _ in range(2))
+            highs = tuple(lo + rng.uniform(0.01, 0.4) for lo in lows)
+            a = incremental.range_query(lows, highs)
+            b = bulk.range_query(lows, highs)
+            assert sorted(a.records) == sorted(b.records)
+
+    @given(POINTS)
+    @settings(max_examples=30, deadline=None)
+    def test_partial_match_equivalence(self, points):
+        incremental, bulk = build_pair(points)
+        probe = points[0]
+        for constraints in ({0: probe[0]}, {1: probe[1]}):
+            a = incremental.partial_match(constraints)
+            b = bulk.partial_match(constraints)
+            assert sorted(a.records) == sorted(b.records)

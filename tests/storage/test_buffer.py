@@ -77,6 +77,54 @@ class TestWriteThrough:
         pool.invalidate(page)
         assert not pool.resident(page)
 
+    def test_invalidate_counts_only_resident_pages(self, pool):
+        page = pool.store.allocate("x")
+        pool.read(page)
+        pool.invalidate(page)
+        assert pool.stats.invalidations == 1
+        # The page is no longer cached: further calls are no-ops and
+        # must not inflate the counter.
+        pool.invalidate(page)
+        pool.invalidate(12345)
+        assert pool.stats.invalidations == 1
+
+    def test_invalidate_counts_cached_none_payload(self, pool):
+        page = pool.allocate(None)  # cached by allocation, content None
+        pool.invalidate(page)
+        assert pool.stats.invalidations == 1
+
+
+class TestPeek:
+    def test_peek_serves_cache_without_counting(self, pool):
+        page = pool.store.allocate("x")
+        pool.read(page)
+        hits, misses = pool.stats.hits, pool.stats.misses
+        assert pool.peek(page) == "x"
+        assert (pool.stats.hits, pool.stats.misses) == (hits, misses)
+
+    def test_peek_miss_does_not_install_or_count(self, pool):
+        page = pool.store.allocate("x")
+        physical = pool.store.stats.reads
+        assert pool.peek(page) == "x"
+        assert not pool.resident(page)
+        assert pool.store.stats.reads == physical
+        assert pool.stats.misses == 0
+
+    def test_peek_does_not_refresh_recency(self, pool):
+        pages = [pool.store.allocate(i) for i in range(4)]
+        for p in pages[:3]:
+            pool.read(p)
+        pool.peek(pages[0])  # must NOT freshen page 0
+        pool.read(pages[3])  # evicts page 0, still the least recent
+        assert not pool.resident(pages[0])
+        assert pool.resident(pages[1])
+
+    def test_peek_distinguishes_cached_none(self, pool):
+        page = pool.allocate(None)
+        store_reads = pool.store.stats.reads
+        assert pool.peek(page) is None
+        assert pool.store.stats.reads == store_reads
+
     def test_clear(self, pool):
         page = pool.store.allocate("x")
         pool.read(page)

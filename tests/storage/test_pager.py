@@ -33,6 +33,17 @@ class TestLifecycle:
         with pytest.raises(PageNotFoundError):
             PageStore().read(42)
 
+    def test_peek_reads_without_counting(self):
+        store = PageStore()
+        page = store.allocate("x")
+        reads_before = store.stats.reads
+        assert store.peek(page) == "x"
+        assert store.stats.reads == reads_before
+
+    def test_peek_unknown_page(self):
+        with pytest.raises(PageNotFoundError):
+            PageStore().peek(42)
+
     def test_write_unknown_page(self):
         with pytest.raises(PageNotFoundError):
             PageStore().write(42, "x")
