@@ -22,4 +22,19 @@ python -m pytest -x -q
 echo "== perf smoke =="
 python -m repro perf --scale smoke --no-write >/dev/null
 
+echo "== obs smoke =="
+# EXPLAIN and a traced workload must run end to end; the JSONL artifact
+# must parse back (CI uploads the same file).
+obs_trace="${TMPDIR:-/tmp}/repro-trace-smoke.jsonl"
+python -m repro explain --n 800 --point 0.3 0.7 >/dev/null
+python -m repro explain --n 800 --rect 0.2 0.2 0.6 0.6 --format json >/dev/null
+python -m repro trace --n 800 --out "$obs_trace" >/dev/null
+python - "$obs_trace" <<'PY'
+import sys
+from repro.obs import read_jsonl
+events = read_jsonl(sys.argv[1])
+assert events, "obs smoke produced an empty trace"
+PY
+rm -f "$obs_trace"
+
 echo "all checks passed"

@@ -8,6 +8,8 @@
     python -m repro compare --n 10000          # BV vs the baselines
     python -m repro perf --scale smoke         # wall-clock benchmark suite
     python -m repro lint src/repro tests       # domain-aware static analysis
+    python -m repro explain --point 0.3 0.7    # what would this query do?
+    python -m repro trace --out trace.jsonl    # record a traced workload
 """
 
 from __future__ import annotations
@@ -192,6 +194,135 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_workload_tree(args: argparse.Namespace) -> "object":
+    """A bulk-loaded BV-tree over the requested workload (shared by the
+    observability subcommands)."""
+    from repro.core.tree import BVTree
+
+    space = DataSpace.unit(args.dims, resolution=18)
+    points = WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    tree = BVTree(
+        space,
+        data_capacity=args.data_capacity,
+        fanout=args.fanout,
+        policy=args.policy,
+    )
+    tree.bulk_load(
+        ((tuple(p), i) for i, p in enumerate(points)), replace=True
+    )
+    return tree
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    given = sum(
+        1 for q in (args.point, args.rect, args.knn) if q is not None
+    )
+    if given != 1:
+        print(
+            "explain: give exactly one of --point, --rect, --knn",
+            file=sys.stderr,
+        )
+        return 2
+    tree = _build_workload_tree(args)
+    if args.point is not None:
+        report = tree.explain(point=args.point)
+    elif args.rect is not None:
+        coords = args.rect
+        if len(coords) != 2 * args.dims:
+            print(
+                f"explain: --rect needs {2 * args.dims} floats "
+                f"(lows then highs for {args.dims} dimensions), "
+                f"got {len(coords)}",
+                file=sys.stderr,
+            )
+            return 2
+        report = tree.explain(
+            rect=(coords[: args.dims], coords[args.dims :])
+        )
+    else:
+        report = tree.explain(knn=args.knn, k=args.k)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Imported lazily, like the perf harness: tracing pulls in sinks the
+    # analysis subcommands never need.
+    import random
+
+    from repro.core.tree import BVTree
+    from repro.obs import JsonlSink, RingSink
+
+    space = DataSpace.unit(args.dims, resolution=18)
+    points = [
+        tuple(p)
+        for p in WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    ]
+    tree = BVTree(
+        space,
+        data_capacity=args.data_capacity,
+        fanout=args.fanout,
+        policy=args.policy,
+    )
+    sink = (
+        JsonlSink(args.out) if args.out else RingSink(capacity=args.ring)
+    )
+    tree.tracer.attach(sink)
+    # A mixed workload: build incrementally (splits, promotions), then a
+    # read slice and a delete slice so every event family shows up.
+    rng = random.Random(args.seed)
+    for i, point in enumerate(points):
+        tree.insert(point, i, replace=True)
+    for point in rng.sample(points, min(len(points), args.n // 10 or 1)):
+        tree.get(point)
+    for point in rng.sample(points, min(len(points), args.n // 20 or 1)):
+        tree.delete(point)
+    tree.tracer.detach()
+
+    kind_counts: dict[str, int] = {}
+    if isinstance(sink, JsonlSink):
+        sink.close()
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(args.out)
+    else:
+        events = sink.events()
+    for event in events:
+        kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
+    print(format_table(
+        ["event kind", "count"],
+        [[kind, count] for kind, count in sorted(kind_counts.items())],
+        title=(
+            f"traced {args.workload} workload "
+            f"(n={args.n}, {args.dims}-d, P={args.data_capacity}, "
+            f"F={args.fanout})"
+        ),
+    ))
+    counters = {
+        name: value
+        for name, value in tree.stats.to_dict().items()
+        if value
+    }
+    print()
+    print(format_table(
+        ["op counter", "value"],
+        [[name, value] for name, value in sorted(counters.items())],
+    ))
+    if args.out:
+        print(f"\nwrote {len(events)} events to {args.out}")
+    elif isinstance(sink, RingSink) and sink.dropped:
+        print(
+            f"\nring buffer kept the last {len(sink)} events "
+            f"({sink.dropped} older ones dropped; use --out for all)"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: linting pulls in the whole rule registry, which the
     # analysis/demo subcommands never need.
@@ -258,6 +389,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a previously written BENCH_*.json",
     )
     p.set_defaults(func=_cmd_perf)
+
+    for name, help_text, description in (
+        (
+            "explain",
+            "EXPLAIN one query against a workload-built tree",
+            (
+                "Builds a BV-tree over a synthetic workload, runs one "
+                "query under a capture tracer and reports what it "
+                "visited, which guards it consulted and why blocks were "
+                "pruned; see docs/OBSERVABILITY.md."
+            ),
+        ),
+        (
+            "trace",
+            "record a traced workload (ring buffer or JSONL file)",
+            (
+                "Builds a BV-tree incrementally with tracing enabled "
+                "(inserts, then a read and a delete slice) and prints "
+                "per-kind event counts next to the operation counters; "
+                "--out writes the full stream as JSONL."
+            ),
+        ),
+    ):
+        p = sub.add_parser(name, help=help_text, description=description)
+        p.add_argument("--workload", choices=sorted(WORKLOADS), default="uniform")
+        p.add_argument("--n", type=int, default=2000)
+        p.add_argument("--dims", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--data-capacity", type=int, default=16)
+        p.add_argument("--fanout", type=int, default=16)
+        p.add_argument(
+            "--policy", choices=["scaled", "uniform"], default="scaled"
+        )
+        if name == "explain":
+            p.add_argument(
+                "--point", type=float, nargs="+", metavar="X",
+                help="exact-match query point (dims floats)",
+            )
+            p.add_argument(
+                "--rect", type=float, nargs="+", metavar="X",
+                help="range query box: dims lows then dims highs",
+            )
+            p.add_argument(
+                "--knn", type=float, nargs="+", metavar="X",
+                help="k-NN query point (dims floats)",
+            )
+            p.add_argument("--k", type=int, default=3, help="neighbours for --knn")
+            p.add_argument("--format", choices=["text", "json"], default="text")
+            p.add_argument(
+                "--max-rows", type=int, default=20,
+                help="pruned-block rows shown in text format",
+            )
+            p.set_defaults(func=_cmd_explain)
+        else:
+            p.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="write the full event stream as JSONL to PATH",
+            )
+            p.add_argument(
+                "--ring", type=int, default=65536,
+                help="ring-buffer capacity when --out is not given",
+            )
+            p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "lint",

@@ -36,6 +36,7 @@ from repro.core import insert as _insert
 from repro.core.entry import Entry
 from repro.core.node import DataPage
 from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.obs.events import DATA_SPLIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -106,11 +107,24 @@ def bulk_load(
     # placement machinery.  Pages are created with their *final* record
     # sets (the plan already knows them), so no record is ever moved.
     tree.store.write(tree.root_page, page_for(final_ranges[0]))
+    tracer = tree.tracer
     for outer_id, inner_id, split_key in events:
         inner_page = tree.alloc_data_page(page_for(final_ranges[inner_id]))
         inner_entry = Entry(split_key, 0, inner_page)
         tree.register_entry(inner_entry)
         tree.stats.data_splits += 1
+        if tracer.enabled:
+            # Planned splits count (and trace) like incremental ones, so
+            # a trace replay reproduces the OpCounters delta either way.
+            tracer.emit(
+                DATA_SPLIT,
+                key=split_key.bit_string(),
+                inner_page=inner_page,
+                moved=sum(
+                    end - start for start, end in final_ranges[inner_id]
+                ),
+                planned=True,
+            )
         outer_key = ROOT_KEY if outer_id == 0 else events[outer_id - 1][2]
         outer_entry = tree.registered(0, outer_key)
         if outer_entry is None:

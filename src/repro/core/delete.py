@@ -35,6 +35,7 @@ from repro.core.guards import GuardSet
 from repro.core.insert import _check_overflow, _place_guard, split_data_page
 from repro.core.node import DataPage, IndexNode
 from repro.core.placement import canonical_encloser, placement_walk
+from repro.obs.events import MERGE, REDISTRIBUTE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -192,6 +193,17 @@ def _try_absorb(
             return False
 
     tree.stats.merges += 1
+    tracer = tree.tracer
+    if tracer.enabled:
+        # Co-located with the stats bump: trace replay must reproduce the
+        # OpCounters delta exactly (the integration tests assert this).
+        tracer.emit(
+            MERGE,
+            mode="absorb",
+            level=victim.level,
+            key=victim.key.bit_string(),
+            into_key=into.key.bit_string(),
+        )
     if victim.level == 0:
         into_page: DataPage = tree.store.read(into.page)
         victim_page: DataPage = tree.store.read(victim.page)
@@ -200,6 +212,10 @@ def _try_absorb(
         _remove_entry(tree, victim, find_owner(tree, victim))
         if tree.policy.data_overflows(len(into_page)):
             tree.stats.redistributions += 1
+            if tracer.enabled:
+                tracer.emit(
+                    REDISTRIBUTE, level=0, key=into.key.bit_string()
+                )
             split_data_page(tree, into)
         elif tree.policy.data_underflows(len(into_page)) and (
             find_owner(tree, into) is not None
@@ -214,6 +230,12 @@ def _try_absorb(
         _remove_entry(tree, victim, find_owner(tree, victim))
         if tree.policy.index_overflows(into_node):
             tree.stats.redistributions += 1
+            if tracer.enabled:
+                tracer.emit(
+                    REDISTRIBUTE,
+                    level=into.level,
+                    key=into.key.bit_string(),
+                )
             _check_overflow(tree, into.page)
         elif tree.policy.index_underflows(into_node) and (
             find_owner(tree, into) is not None
@@ -269,6 +291,15 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
             return False
 
     tree.stats.merges += 1
+    tracer = tree.tracer
+    if tracer.enabled:
+        tracer.emit(
+            MERGE,
+            mode="buddy",
+            level=entry.level,
+            key=buddy.key.bit_string(),
+            into_key=parent_key.bit_string(),
+        )
     for half, owner_page in ((entry, entry_owner), (buddy, buddy_owner)):
         node = tree.store.read(owner_page)
         node.remove(half)
@@ -294,11 +325,21 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
         page = tree.store.read(merged.page)
         if tree.policy.data_overflows(len(page)):
             tree.stats.redistributions += 1
+            if tracer.enabled:
+                tracer.emit(
+                    REDISTRIBUTE, level=0, key=merged.key.bit_string()
+                )
             split_data_page(tree, merged)
     else:
         node = tree.store.read(merged.page)
         if tree.policy.index_overflows(node):
             tree.stats.redistributions += 1
+            if tracer.enabled:
+                tracer.emit(
+                    REDISTRIBUTE,
+                    level=merged.level,
+                    key=merged.key.bit_string(),
+                )
             _check_overflow(tree, merged.page)
     return True
 

@@ -25,6 +25,8 @@ from repro.errors import TreeInvariantError
 from repro.core.entry import Entry
 from repro.core.guards import GuardSet
 from repro.core.node import IndexNode
+from repro.obs.events import DESCENT_STEP, GUARD_HIT
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -51,6 +53,7 @@ def step(
     path: int,
     path_bits: int,
     guards: GuardSet,
+    tracer: Tracer | None = None,
 ) -> tuple[Entry, int]:
     """One descent step: pick the next hop at partition level ``L - 1``.
 
@@ -58,9 +61,22 @@ def step(
     best-matching native entry with the carried guard of level ``L - 1``
     (which is consumed here — it has returned to its original partition
     level).  Returns the winning entry and the page of the node storing it.
+
+    ``tracer`` (enabled) records each matching guard as a ``guard_hit``;
+    the untraced path passes ``None`` and pays nothing.
     """
-    for guard in node.matching_guards(path, path_bits):
-        guards.merge(guard, node_page)
+    if tracer is None:
+        for guard in node.matching_guards(path, path_bits):
+            guards.merge(guard, node_page)
+    else:
+        for guard in node.matching_guards(path, path_bits):
+            guards.merge(guard, node_page)
+            tracer.emit(
+                GUARD_HIT,
+                level=guard.level,
+                key=guard.key.bit_string(),
+                node_page=node_page,
+            )
     native = node.best_native_match(path, path_bits)
     carried = guards.consume(node.index_level - 1)
     if native is None and carried is None:
@@ -91,17 +107,34 @@ def locate(tree: "BVTree", path: int) -> Locate:
     guards = GuardSet()
     nodes_visited = 0
     max_guard_set = 0
+    read = tree.store.read
+    tracer = tree.tracer
+    # Hoisted once: the untraced loop below pays one local-bool branch
+    # per level, which is the whole "zero overhead when disabled" budget.
+    step_tracer = tracer if tracer.enabled else None
     while entry.level > 0:
         node_page = entry.page
-        node: IndexNode = tree.store.read(node_page)
+        node: IndexNode = read(node_page)
         if node.index_level != entry.level:
             raise TreeInvariantError(
                 f"entry of level {entry.level} points at node of index "
                 f"level {node.index_level}"
             )
         nodes_visited += 1
-        entry, owner_page = step(node, node_page, path, path_bits, guards)
+        entry, owner_page = step(
+            node, node_page, path, path_bits, guards, step_tracer
+        )
         max_guard_set = max(max_guard_set, len(guards))
+        if step_tracer is not None:
+            step_tracer.emit(
+                DESCENT_STEP,
+                level=node.index_level,
+                node_page=node_page,
+                chosen_level=entry.level,
+                key=entry.key.bit_string(),
+                via="guard" if owner_page != node_page else "native",
+                guard_set=len(guards),
+            )
     return Locate(
         entry=entry,
         owner_page=owner_page,

@@ -32,6 +32,7 @@ from repro.core.node import DataPage, IndexNode
 from repro.core.placement import justified, placement_walk
 from repro.core.split import choose_split
 from repro.geometry.region import ROOT_KEY, RegionKey
+from repro.obs.events import DATA_SPLIT, DEMOTION, INDEX_SPLIT, PROMOTION
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -76,6 +77,18 @@ def split_data_page(tree: "BVTree", entry: Entry) -> None:
     inner_page = tree.alloc_data_page(inner)
     tree.store.write(entry.page, page)
     tree.stats.data_splits += 1
+    tracer = tree.tracer
+    if tracer.enabled:
+        # Every stats bump has a co-located event: replaying a trace's
+        # structural events must reproduce the OpCounters delta exactly
+        # (the integration tests assert this).
+        tracer.emit(
+            DATA_SPLIT,
+            key=split_key.bit_string(),
+            outer_page=entry.page,
+            inner_page=inner_page,
+            moved=len(inner.records),
+        )
     inner_entry = Entry(split_key, 0, inner_page)
     tree.register_entry(inner_entry)
     _place_split_inner(tree, inner_entry, entry)
@@ -141,6 +154,23 @@ def split_index_node(tree: "BVTree", node_page: int, entry: Entry) -> None:
     tree.store.write(node_page, node)
     tree.stats.index_splits += 1
     tree.stats.promotions += len(promoted)
+    tracer = tree.tracer
+    if tracer.enabled:
+        tracer.emit(
+            INDEX_SPLIT,
+            key=split_key.bit_string(),
+            level=entry.level,
+            outer_page=node_page,
+            inner_page=inner_page,
+            moved=len(inner_entries),
+        )
+        for g in promoted:
+            tracer.emit(
+                PROMOTION,
+                key=g.key.bit_string(),
+                level=g.level,
+                from_page=node_page,
+            )
 
     inner_entry = Entry(split_key, entry.level, inner_page)
     tree.register_entry(inner_entry)
@@ -280,6 +310,14 @@ def _place_guard(tree: "BVTree", entry: Entry) -> None:
     node.add(entry)
     tree.store.write(node_page, node)
     tree.stats.demotions += 1
+    tracer = tree.tracer
+    if tracer.enabled:
+        tracer.emit(
+            DEMOTION,
+            key=entry.key.bit_string(),
+            level=entry.level,
+            to_page=node_page,
+        )
     _check_overflow(tree, node_page)
 
 

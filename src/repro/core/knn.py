@@ -24,6 +24,7 @@ from repro.errors import GeometryError, ReproError, TreeInvariantError
 from repro.core.node import DataPage, IndexNode
 from repro.geometry.bitgrid import key_min_dist_sq
 from repro.geometry.rect import Rect
+from repro.obs.events import QUERY_PRUNE, QUERY_VISIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -85,12 +86,22 @@ def nearest_neighbours(
     heap: list[tuple[float, int, Any]] = [(0.0, next(counter), tree.root_entry())]
     best: list[tuple[float, int, Neighbour]] = []  # max-heap via negation
     pages_visited = 0
+    tracer = tree.tracer
+    tracing = tracer.enabled
 
     while heap:
         dist_sq, _, entry = heapq.heappop(heap)
         if len(best) == k and dist_sq > -best[0][0]:
             break
         pages_visited += 1
+        if tracing:
+            tracer.emit(
+                QUERY_VISIT,
+                level=entry.level,
+                key=entry.key.bit_string(),
+                page=entry.page,
+                dist=math.sqrt(dist_sq),
+            )
         node = tree.store.read(entry.page)
         if isinstance(node, DataPage):
             for stored, value in node.records.values():
@@ -117,6 +128,15 @@ def nearest_neighbours(
             d = key_min_dist_sq(tree.space, child.key, query)
             if len(best) < k or d <= -best[0][0]:
                 heapq.heappush(heap, (d, next(counter), child))
+            elif tracing:
+                tracer.emit(
+                    QUERY_PRUNE,
+                    level=child.level,
+                    key=child.key.bit_string(),
+                    page=child.page,
+                    dist=math.sqrt(d),
+                    radius=math.sqrt(-best[0][0]),
+                )
 
     ordered = sorted((n for _, _, n in best), key=lambda n: n.distance)
     return KNNResult(neighbours=ordered, pages_visited=pages_visited)

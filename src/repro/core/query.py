@@ -26,8 +26,14 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import GeometryError
 from repro.core.node import DataPage, IndexNode
-from repro.geometry.bitgrid import key_intersects, query_cell_bounds
+from repro.geometry.bitgrid import (
+    key_intersects,
+    key_prune_dim,
+    query_cell_bounds,
+)
 from repro.geometry.rect import Rect
+from repro.obs.events import QUERY_PRUNE, QUERY_VISIT
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tree import BVTree
@@ -55,6 +61,12 @@ def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
         raise GeometryError(
             f"query box is {rect.ndim}-d, space is {tree.space.ndim}-d"
         )
+    tracer = tree.tracer
+    if tracer.enabled:
+        # The traced traversal is a separate loop so the untraced one
+        # below stays exactly as cheap as the seed's (no per-visit
+        # branch beyond this single check).
+        return _range_query_traced(tree, rect, tracer)
     result = QueryResult()
     space = tree.space
     bounds = query_cell_bounds(space, rect)
@@ -69,6 +81,56 @@ def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
         if not key_intersects(key.value, key.nbits, ndim, resolution, bounds):
             continue
         result.pages_visited += 1
+        if entry.level == 0:
+            result.data_pages_visited += 1
+            page: DataPage = read(entry.page)
+            for point, value in page.records.values():
+                if contains(point):
+                    result.records.append((point, value))
+        else:
+            node: IndexNode = read(entry.page)
+            stack.extend(node.entries)
+    return result
+
+
+def _range_query_traced(
+    tree: "BVTree", rect: Rect, tracer: Tracer
+) -> QueryResult:
+    """The range traversal with per-block visit/prune events.
+
+    Visits exactly the pages :func:`range_query` would (same cut-offs,
+    same stack discipline); a pruned block's event carries the dimension
+    whose bitgrid cut-off fired (:func:`key_prune_dim` runs the same
+    comparisons as the boolean test).
+    """
+    result = QueryResult()
+    space = tree.space
+    bounds = query_cell_bounds(space, rect)
+    ndim = space.ndim
+    resolution = space.resolution
+    read = tree.store.read
+    contains = rect.contains_point
+    stack = [tree.root_entry()]
+    while stack:
+        entry = stack.pop()
+        key = entry.key
+        dim = key_prune_dim(key.value, key.nbits, ndim, resolution, bounds)
+        if dim is not None:
+            tracer.emit(
+                QUERY_PRUNE,
+                level=entry.level,
+                key=key.bit_string(),
+                page=entry.page,
+                dim=dim,
+            )
+            continue
+        result.pages_visited += 1
+        tracer.emit(
+            QUERY_VISIT,
+            level=entry.level,
+            key=key.bit_string(),
+            page=entry.page,
+        )
         if entry.level == 0:
             result.data_pages_visited += 1
             page: DataPage = read(entry.page)

@@ -41,6 +41,37 @@ class OpCounters:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
+    def snapshot(self) -> "OpCounters":
+        """An independent copy of the current counter values.
+
+        Mirrors :meth:`repro.storage.stats.IOStats.snapshot`, so perf
+        scenarios and the metrics registry can diff counters between two
+        samples without a destructive :meth:`reset` in between.
+        """
+        return OpCounters(
+            **{name: getattr(self, name) for name in self.__dataclass_fields__}
+        )
+
+    def delta(self, since: "OpCounters") -> "OpCounters":
+        """Counters accumulated since an earlier :meth:`snapshot`.
+
+        A ``reset()`` between the snapshot and this call yields negative
+        components — the same semantics as :meth:`IOStats.delta`; diff
+        only monotone samples.
+        """
+        return OpCounters(
+            **{
+                name: getattr(self, name) - getattr(since, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """The counters as a plain mapping (JSON-ready)."""
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
 
 @dataclass
 class TreeStats:

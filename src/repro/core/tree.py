@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
-from repro.errors import KeyNotFoundError, TreeInvariantError
+from repro.errors import KeyNotFoundError, ReproError, TreeInvariantError
 from repro.core import bulk as _bulk
 from repro.core import insert as _insert
 from repro.core import delete as _delete
@@ -29,10 +29,12 @@ from repro.core.stats import OpCounters, TreeStats, collect
 from repro.geometry.rect import Rect
 from repro.geometry.region import ROOT_KEY, RegionKey
 from repro.geometry.space import DataSpace
+from repro.obs.tracer import Tracer
 from repro.storage import Storage, default_store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.knn import KNNResult
+    from repro.obs.explain import ExplainReport
 
 
 class BVTree:
@@ -59,6 +61,13 @@ class BVTree:
         a :class:`~repro.storage.BufferPool` to measure cache behaviour,
         or a store co-located with other structures).  Core code depends
         only on the protocol, never on a concrete backend (lint rule R3).
+    tracer:
+        Optionally a pre-configured :class:`~repro.obs.Tracer`.  The tree
+        shares its tracer with its store, so page-level and
+        structure-level events interleave in one stream; by default the
+        tracer is disabled (null sink) and the instrumented paths cost a
+        single branch.  Attach a sink later with
+        ``tree.tracer.attach(...)``.
     """
 
     def __init__(
@@ -69,6 +78,7 @@ class BVTree:
         policy: str = "scaled",
         page_bytes: int = 1024,
         store: Storage | None = None,
+        tracer: Tracer | None = None,
     ):
         self.space = space
         self.policy = CapacityPolicy(
@@ -79,6 +89,10 @@ class BVTree:
         )
         self.store = store if store is not None else default_store(page_bytes)
         self.store.register_size_class(0, page_bytes)
+        #: One tracer for the tree and its store (a caller-supplied store
+        #: has its tracer replaced so events land in a single stream).
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.store.tracer = self.tracer
         self.stats = OpCounters()
         self.count = 0
         self.height = 0
@@ -148,17 +162,36 @@ class BVTree:
         Two points identical in the leading ``space.resolution`` bits of
         every coordinate are the same key to the index.
         """
-        _insert.insert_point(self, point, value, replace=replace)
+        tracer = self.tracer
+        if not tracer.enabled:
+            _insert.insert_point(self, point, value, replace=replace)
+            return
+        with tracer.operation("insert", point=list(point)):
+            _insert.insert_point(self, point, value, replace=replace)
 
     def get(self, point: Sequence[float]) -> Any:
         """The value stored at ``point`` (KeyNotFoundError if absent)."""
-        path = self.space.point_path(point)
-        found = locate(self, path)
-        page: DataPage = self.store.read(found.entry.page)
-        record = page.get(path)
-        if record is None:
-            raise KeyNotFoundError(f"no record at {tuple(point)}")
-        return record[1]
+        # The untraced path is written out in full (not delegated to a
+        # helper shared with the traced branch): exact match is the
+        # tightest perf budget in the repo and one extra frame per get
+        # would cost more than the whole tracing check.
+        tracer = self.tracer
+        if not tracer.enabled:
+            path = self.space.point_path(point)
+            found = locate(self, path)
+            page: DataPage = self.store.read(found.entry.page)
+            record = page.get(path)
+            if record is None:
+                raise KeyNotFoundError(f"no record at {tuple(point)}")
+            return record[1]
+        with tracer.operation("get", point=list(point)):
+            path = self.space.point_path(point)
+            found = locate(self, path)
+            page = self.store.read(found.entry.page)
+            record = page.get(path)
+            if record is None:
+                raise KeyNotFoundError(f"no record at {tuple(point)}")
+            return record[1]
 
     def get_fast(self, point: Sequence[float]) -> Any:
         """Exact-match lookup through the key registry (O(path bits)).
@@ -210,7 +243,11 @@ class BVTree:
         such record in input order then wins, as repeated
         ``insert(..., replace=True)`` would).
         """
-        return _bulk.bulk_load(self, records, replace=replace)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return _bulk.bulk_load(self, records, replace=replace)
+        with tracer.operation("bulk_load"):
+            return _bulk.bulk_load(self, records, replace=replace)
 
     def update_many(
         self,
@@ -265,7 +302,11 @@ class BVTree:
 
     def delete(self, point: Sequence[float]) -> Any:
         """Remove and return the record at ``point`` (KeyNotFoundError if absent)."""
-        return _delete.delete_point(self, point)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return _delete.delete_point(self, point)
+        with tracer.operation("delete", point=list(point)):
+            return _delete.delete_point(self, point)
 
     # ------------------------------------------------------------------
     # Queries
@@ -275,7 +316,11 @@ class BVTree:
         self, lows: Sequence[float], highs: Sequence[float]
     ) -> "_query.QueryResult":
         """All records in the half-open box ``[lows, highs)``."""
-        return _query.range_query(self, Rect(lows, highs))
+        tracer = self.tracer
+        if not tracer.enabled:
+            return _query.range_query(self, Rect(lows, highs))
+        with tracer.operation("range", lows=list(lows), highs=list(highs)):
+            return _query.range_query(self, Rect(lows, highs))
 
     def partial_match(
         self, constraints: dict[int, float]
@@ -298,7 +343,46 @@ class BVTree:
         """
         from repro.core.knn import nearest_neighbours
 
-        return nearest_neighbours(self, point, k=k)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return nearest_neighbours(self, point, k=k)
+        with tracer.operation("knn", point=list(point), k=k):
+            return nearest_neighbours(self, point, k=k)
+
+    def explain(
+        self,
+        point: Sequence[float] | None = None,
+        *,
+        rect: tuple[Sequence[float], Sequence[float]] | None = None,
+        knn: Sequence[float] | None = None,
+        k: int = 1,
+    ) -> "ExplainReport":
+        """EXPLAIN a query: what it visited, pruned, and why.
+
+        Exactly one of ``point`` (exact match), ``rect=(lows, highs)``
+        (range query) or ``knn`` (k-nearest, with ``k``) must be given.
+        The query runs for real under a temporary capture tracer — the
+        tree is read but not modified, and the caller's tracer is
+        restored afterwards — and the captured event slice is folded
+        into an :class:`~repro.obs.ExplainReport` (see
+        :mod:`repro.obs.explain`).
+        """
+        from repro.obs import explain as _explain
+
+        given = sum(1 for q in (point, rect, knn) if q is not None)
+        if given != 1:
+            raise ReproError(
+                "explain() takes exactly one of point=..., rect=..., "
+                f"knn=...; got {given}"
+            )
+        if point is not None:
+            return _explain.explain_point(self, point)
+        if rect is not None:
+            lows, highs = rect
+            return _explain.explain_range(self, lows, highs)
+        if knn is not None:
+            return _explain.explain_knn(self, knn, k=k)
+        raise TreeInvariantError("explain() dispatch fell through")
 
     def items(self) -> Iterator[tuple[tuple[float, ...], Any]]:
         """Iterate all (point, value) records (unspecified order)."""

@@ -23,6 +23,7 @@ from repro.geometry.bitgrid import (
     CellBounds,
     key_intersects,
     key_min_dist_sq,
+    key_prune_dim,
     query_cell_bounds,
 )
 from repro.geometry.rect import Rect
@@ -37,5 +38,6 @@ __all__ = [
     "ROOT_KEY",
     "key_intersects",
     "key_min_dist_sq",
+    "key_prune_dim",
     "query_cell_bounds",
 ]

@@ -149,6 +149,39 @@ def key_intersects(
     return True
 
 
+def key_prune_dim(
+    value: int,
+    nbits: int,
+    ndim: int,
+    resolution: int,
+    bounds: CellBounds,
+) -> int | None:
+    """The first dimension whose cut-off disjoins the key's block, if any.
+
+    The EXPLAIN counterpart of :func:`key_intersects`: returns ``None``
+    when the block intersects the query (the key is *not* pruned), and
+    otherwise the lowest dimension index on which the integer cut-off
+    fired — the same comparisons, so
+    ``key_prune_dim(...) is None == key_intersects(...)`` for every key
+    (a property test asserts the equivalence).  Only the traced query
+    path calls this; the untraced hot loop stays on the boolean test.
+    """
+    origins = [0] * ndim
+    halvings = [0] * ndim
+    for t in range(nbits):
+        dim = t % ndim
+        h = halvings[dim] + 1
+        halvings[dim] = h
+        if (value >> (nbits - 1 - t)) & 1:
+            origins[dim] += 1 << (resolution - h)
+    for dim in range(ndim):
+        b, a = bounds[dim]
+        o = origins[dim]
+        if o > a or o + (1 << (resolution - halvings[dim])) <= b:
+            return dim
+    return None
+
+
 def key_min_dist_sq(
     space: DataSpace, key: RegionKey, point: Sequence[float]
 ) -> float:

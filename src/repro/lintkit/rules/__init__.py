@@ -7,7 +7,7 @@ examples.  Importing this package populates the registry in
 :mod:`repro.lintkit.suppress`, where the suppression machinery lives).
 """
 
-from repro.lintkit.rules import exceptions, exports, floats, layering, mutation, statstouch, typingonly
+from repro.lintkit.rules import exceptions, exports, floats, layering, mutation, printban, statstouch, typingonly
 
 __all__ = [
     "exceptions",
@@ -15,6 +15,7 @@ __all__ = [
     "floats",
     "layering",
     "mutation",
+    "printban",
     "statstouch",
     "typingonly",
 ]

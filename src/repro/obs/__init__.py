@@ -1,0 +1,61 @@
+"""Observability: structured tracing, metrics and query EXPLAIN.
+
+The paper's guarantees are *per-operation* claims — logarithmic node
+touches, no cascade splits, bounded promotion work.  The aggregate
+counters (:class:`~repro.core.stats.OpCounters`,
+:class:`~repro.storage.stats.IOStats`) verify them in total; this
+subpackage makes them observable operation by operation, the way the
+dynamic-indexability literature argues about indexes — access traces,
+not averages:
+
+- :class:`~repro.obs.tracer.Tracer` + :class:`~repro.obs.events.TraceEvent`
+  — a span-style event stream (descent steps, guard hits, splits,
+  promotions, merges, page I/O) with zero overhead while disabled;
+- :mod:`~repro.obs.sinks` — pluggable sinks: null (default), in-memory
+  ring buffer, JSONL file;
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms, derivable from the event stream via
+  :class:`~repro.obs.metrics.MetricsSink`; the perf harness snapshots a
+  registry into ``BENCH_<suite>.json``;
+- :mod:`~repro.obs.explain` — ``BVTree.explain(...)`` reports (visited
+  entries per level, guards consulted, prune cut-offs, pages touched).
+
+CLI: ``repro explain`` and ``repro trace``.  Full schema and usage:
+``docs/OBSERVABILITY.md``.
+
+This package sits *below* :mod:`repro.core` and :mod:`repro.storage` in
+the dependency order (both emit through it); it imports neither, which
+is what lets a single tracer be shared across the tree and its store.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.explain import ExplainReport, explain_knn, explain_point, explain_range
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+from repro.obs.sinks import JsonlSink, NullSink, RingSink, TraceSink, read_jsonl
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "ExplainReport",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NullSink",
+    "RingSink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "explain_knn",
+    "explain_point",
+    "explain_range",
+    "read_jsonl",
+]

@@ -1,0 +1,140 @@
+"""The trace event model: what one observable step of the tree looks like.
+
+A :class:`TraceEvent` is one timestamp-free, span-style record: a global
+sequence number (``seq``), the id of the operation span it belongs to
+(``op``, 0 outside any span), a ``kind`` drawn from the catalogue below
+and a small JSON-ready ``fields`` payload.  Events carry *structural*
+facts (pages, keys, levels, counts) rather than wall-clock times — the
+paper's guarantees are stated per operation in page touches and
+promotion work, so that is what the trace records; wall-clock belongs to
+:mod:`repro.perf`.
+
+Kind catalogue
+--------------
+========================  ====================================================
+kind                      emitted when
+========================  ====================================================
+``op_begin``/``op_end``   an operation span opens/closes (insert, get, ...)
+``descent_step``          one hop of an exact-match descent (paper §3)
+``guard_hit``             a guard matched the search path and joined the set
+``data_split``            a data page split (paper §2)
+``index_split``           an index node split
+``promotion``             one entry promoted into the parent as a guard
+``demotion``              one entry demoted to its unpromoted position (§4)
+``merge``                 two regions merged (paper §5)
+``redistribute``          a merged population re-split (the §5 1/3 guarantee)
+``page_read``             one page read; ``physical`` False means cache hit
+``page_write``            one page write
+``query_visit``           a range/k-NN traversal visited an entry's block
+``query_prune``           a traversal pruned a block (with the cut-off)
+========================  ====================================================
+
+The schema is documented for external consumers in
+``docs/OBSERVABILITY.md``; :meth:`TraceEvent.to_dict` /
+:meth:`TraceEvent.from_dict` define the JSONL wire form used by
+:class:`~repro.obs.sinks.JsonlSink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DATA_SPLIT",
+    "DEMOTION",
+    "DESCENT_STEP",
+    "EVENT_KINDS",
+    "GUARD_HIT",
+    "INDEX_SPLIT",
+    "MERGE",
+    "OP_BEGIN",
+    "OP_END",
+    "PAGE_READ",
+    "PAGE_WRITE",
+    "PROMOTION",
+    "QUERY_PRUNE",
+    "QUERY_VISIT",
+    "REDISTRIBUTE",
+    "TraceEvent",
+]
+
+OP_BEGIN = "op_begin"
+OP_END = "op_end"
+DESCENT_STEP = "descent_step"
+GUARD_HIT = "guard_hit"
+DATA_SPLIT = "data_split"
+INDEX_SPLIT = "index_split"
+PROMOTION = "promotion"
+DEMOTION = "demotion"
+MERGE = "merge"
+REDISTRIBUTE = "redistribute"
+PAGE_READ = "page_read"
+PAGE_WRITE = "page_write"
+QUERY_VISIT = "query_visit"
+QUERY_PRUNE = "query_prune"
+
+#: Every kind a conforming tracer may emit.  Sinks must accept all of
+#: them (and should tolerate unknown kinds from future versions).
+EVENT_KINDS = frozenset(
+    {
+        OP_BEGIN,
+        OP_END,
+        DESCENT_STEP,
+        GUARD_HIT,
+        DATA_SPLIT,
+        INDEX_SPLIT,
+        PROMOTION,
+        DEMOTION,
+        MERGE,
+        REDISTRIBUTE,
+        PAGE_READ,
+        PAGE_WRITE,
+        QUERY_VISIT,
+        QUERY_PRUNE,
+    }
+)
+
+#: The kinds that mirror an :class:`~repro.core.stats.OpCounters` bump —
+#: counting a trace's events of these kinds must reproduce the counter
+#: deltas exactly (the replay tests assert it).
+STRUCTURAL_KINDS = frozenset(
+    {DATA_SPLIT, INDEX_SPLIT, PROMOTION, DEMOTION, MERGE, REDISTRIBUTE}
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced step: sequence number, operation span, kind, payload."""
+
+    seq: int
+    op: int
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSONL wire form (flat: payload keys join the envelope)."""
+        out: dict[str, Any] = {"seq": self.seq, "op": self.op, "kind": self.kind}
+        for key, value in self.fields.items():
+            if key in ("seq", "op", "kind"):
+                raise ReproError(
+                    f"trace event field {key!r} collides with the envelope"
+                )
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        try:
+            seq = data["seq"]
+            op = data["op"]
+            kind = data["kind"]
+        except KeyError as exc:
+            raise ReproError(f"trace record is missing {exc}") from None
+        fields = {
+            k: v for k, v in data.items() if k not in ("seq", "op", "kind")
+        }
+        return cls(seq=seq, op=op, kind=kind, fields=fields)

@@ -1,0 +1,309 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Where the tracer records *which* events happened, the registry records
+*distributions*: per-operation nodes visited, guard checks per descent,
+split fan-out, buffer hit ratio over time.  The perf harness snapshots a
+registry into ``BENCH_<suite>.json`` next to the wall-clock samples, so
+the behavioural figures travel with the timings they explain.
+
+Instruments are deliberately minimal and JSON-ready:
+
+- :class:`Counter` — a monotone total;
+- :class:`Gauge` — a point-in-time value (last write wins);
+- :class:`Histogram` — fixed upper-bound buckets plus count/total, so
+  two snapshots can be diffed bucket-by-bucket (no dynamic rebinning).
+
+:class:`MetricsSink` turns the registry into a
+:class:`~repro.obs.sinks.TraceSink`: fed a tree's event stream it
+derives the standard BV-tree metrics (see its docstring) — metrics are
+a *view over the trace*, not a second instrumentation layer, so the two
+can never disagree.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    DATA_SPLIT,
+    DESCENT_STEP,
+    GUARD_HIT,
+    INDEX_SPLIT,
+    OP_END,
+    PAGE_READ,
+    TraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NODES_VISITED_BUCKETS",
+    "SPLIT_FANOUT_BUCKETS",
+]
+
+#: Default buckets for per-descent page/guard counts: trees in this repo
+#: are a handful of levels tall, so single-step resolution up to 8 then
+#: coarser tails is the informative shape.
+NODES_VISITED_BUCKETS = (1, 2, 3, 4, 5, 6, 8, 12, 16)
+
+#: Default buckets for split fan-out (records or entries moved by one
+#: split) — capacities in the benchmarks run 4..64.
+SPLIT_FANOUT_BUCKETS = (2, 4, 8, 16, 24, 32, 48, 64)
+
+
+class Counter:
+    """A monotone total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; the last :meth:`set` wins."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an implicit overflow bucket catches everything above the last bound.
+    ``count``/``total`` give the observation count and sum, so mean and
+    rate-per-op derive from one snapshot.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ReproError(f"histogram {name!r} needs at least one bucket")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ReproError(
+                f"histogram {name!r} buckets must strictly increase: {bounds}"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A namespace of instruments, snapshot-able to JSON-ready dicts.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for a name returns the same instrument; asking for an existing name
+    as a different instrument type is an error (it would silently fork
+    the metric).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        """The histogram under ``name`` (created with ``buckets``).
+
+        ``buckets`` is required on first use and ignored afterwards (the
+        fixed-bucket contract is what keeps snapshots diffable).
+        """
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ReproError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a Histogram"
+                )
+            return existing
+        if buckets is None:
+            raise ReproError(
+                f"histogram {name!r} does not exist yet; pass its buckets"
+            )
+        created = Histogram(name, buckets)
+        self._instruments[name] = created
+        return created
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's current state, keyed by name (JSON-ready)."""
+        return {
+            name: instrument.to_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names become free again)."""
+        self._instruments.clear()
+
+    def _get_or_create(self, name: str, cls: type, factory: Any) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ReproError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        created = factory()
+        self._instruments[name] = created
+        return created
+
+
+class MetricsSink:
+    """A trace sink that aggregates the event stream into a registry.
+
+    Derived metrics (all prefixed to keep the namespace navigable):
+
+    - ``events.<kind>`` counters — one per observed event kind;
+    - ``descent.nodes_visited`` histogram — ``descent_step`` events per
+      operation span (observed when the span closes);
+    - ``descent.guard_checks`` histogram — ``guard_hit`` events per span;
+    - ``split.fanout`` histogram — the ``moved`` field of every
+      ``data_split``/``index_split`` event;
+    - ``buffer.hit_ratio`` gauge — cumulative cache hits over logical
+      reads, updated per ``page_read``;
+    - ``buffer.hit_ratio_series`` gauge-like samples — the ratio sampled
+      every ``sample_every`` logical reads (bounded list), the
+      "hit ratio over time" curve.
+    """
+
+    #: Retain at most this many hit-ratio samples (oldest dropped).
+    MAX_SAMPLES = 512
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sample_every: int = 64,
+    ):
+        if sample_every <= 0:
+            raise ReproError(
+                f"sample_every must be positive, got {sample_every}"
+            )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_every = sample_every
+        self.hit_ratio_series: list[tuple[int, float]] = []
+        self._steps_by_op: dict[int, int] = {}
+        self._guards_by_op: dict[int, int] = {}
+        self._hits = 0
+        self._reads = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Fold one event into the registry."""
+        registry = self.registry
+        registry.counter(f"events.{event.kind}").inc()
+        kind = event.kind
+        if kind == DESCENT_STEP:
+            self._steps_by_op[event.op] = self._steps_by_op.get(event.op, 0) + 1
+        elif kind == GUARD_HIT:
+            self._guards_by_op[event.op] = (
+                self._guards_by_op.get(event.op, 0) + 1
+            )
+        elif kind == OP_END:
+            steps = self._steps_by_op.pop(event.op, None)
+            if steps is not None:
+                registry.histogram(
+                    "descent.nodes_visited", NODES_VISITED_BUCKETS
+                ).observe(steps)
+            guards = self._guards_by_op.pop(event.op, None)
+            if guards is not None:
+                registry.histogram(
+                    "descent.guard_checks", NODES_VISITED_BUCKETS
+                ).observe(guards)
+        elif kind in (DATA_SPLIT, INDEX_SPLIT):
+            moved = event.fields.get("moved")
+            if moved is not None:
+                registry.histogram(
+                    "split.fanout", SPLIT_FANOUT_BUCKETS
+                ).observe(moved)
+        elif kind == PAGE_READ:
+            self._reads += 1
+            if event.fields.get("physical") is False:
+                self._hits += 1
+            ratio = self._hits / self._reads
+            registry.gauge("buffer.hit_ratio").set(ratio)
+            if self._reads % self.sample_every == 0:
+                series = self.hit_ratio_series
+                series.append((self._reads, ratio))
+                if len(series) > self.MAX_SAMPLES:
+                    del series[0]
+
+    def close(self) -> None:
+        """Nothing to release (the registry stays readable)."""
+
+    def snapshot(self) -> dict[str, Any]:
+        """The registry snapshot plus the hit-ratio time series."""
+        out = self.registry.snapshot()
+        if self.hit_ratio_series:
+            out["buffer.hit_ratio_series"] = {
+                "type": "series",
+                "samples": [
+                    {"reads": reads, "ratio": ratio}
+                    for reads, ratio in self.hit_ratio_series
+                ],
+            }
+        return out

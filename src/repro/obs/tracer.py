@@ -1,0 +1,168 @@
+"""The event tracer: span-aware, zero-overhead when disabled.
+
+Every :class:`~repro.core.tree.BVTree` and every storage backend carries
+a :class:`Tracer` (disabled, with a :class:`~repro.obs.sinks.NullSink`,
+unless the caller attaches a real sink).  The instrumented hot paths are
+written against one discipline:
+
+    tracer = tree.tracer
+    if tracer.enabled:          # one attribute load + branch
+        tracer.emit(KIND, ...)  # fields dict built only when tracing
+
+so a disabled tracer costs a single predictable branch per potential
+event — no field formatting, no object construction, no sink call.  The
+perf harness measures the residual cost (see ``docs/OBSERVABILITY.md``);
+the acceptance gate holds it under 2% on the descent-bound cases.
+
+Operation *spans* group events: :meth:`Tracer.operation` allocates an op
+id, emits ``op_begin``/``op_end`` and stamps every event emitted inside
+the ``with`` block with that id, so a trace can be cut back into
+per-operation slices (which is how the EXPLAIN reports and the metrics
+aggregator reconstruct per-descent figures).  When disabled it returns a
+shared no-op context manager, not a fresh object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.events import OP_BEGIN, OP_END, TraceEvent
+from repro.obs.sinks import NullSink, TraceSink
+
+__all__ = ["Tracer"]
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> int:
+        return 0
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open operation span; emits ``op_begin``/``op_end`` around it."""
+
+    __slots__ = ("_tracer", "_name", "_fields", "_op", "_outer")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._op = 0
+        self._outer = 0
+
+    def __enter__(self) -> int:
+        tracer = self._tracer
+        self._op = tracer._next_op()
+        self._outer = tracer.current_op
+        tracer.current_op = self._op
+        tracer.emit(OP_BEGIN, name=self._name, **self._fields)
+        return self._op
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        tracer = self._tracer
+        if exc_type is None:
+            tracer.emit(OP_END, name=self._name)
+        else:
+            tracer.emit(OP_END, name=self._name, error=getattr(exc_type, "__name__", str(exc_type)))
+        tracer.current_op = self._outer
+        return None
+
+
+class Tracer:
+    """Emits :class:`~repro.obs.events.TraceEvent` s to a pluggable sink.
+
+    A tracer starts disabled with a :class:`~repro.obs.sinks.NullSink`.
+    :meth:`attach` installs a sink and enables emission; :meth:`enable`
+    and :meth:`disable` toggle emission without touching the sink, so a
+    capture can be paused around work that should not appear in it.
+
+    One tracer is typically *shared*: a tree and its storage backend
+    emit into the same instance, so page-level and structure-level
+    events interleave in one totally ordered stream (``seq``).
+    """
+
+    __slots__ = ("sink", "enabled", "current_op", "_seq", "_ops")
+
+    def __init__(self, sink: TraceSink | None = None, enabled: bool | None = None):
+        self.sink: TraceSink = sink if sink is not None else NullSink()
+        #: Checked by every instrumented hot path before building fields.
+        self.enabled: bool = (
+            enabled
+            if enabled is not None
+            else not isinstance(self.sink, NullSink)
+        )
+        #: The operation span id events are stamped with (0 = no span).
+        self.current_op = 0
+        self._seq = 0
+        self._ops = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def attach(self, sink: TraceSink) -> None:
+        """Install ``sink`` and enable emission."""
+        self.sink = sink
+        self.enabled = not isinstance(sink, NullSink)
+
+    def detach(self) -> TraceSink:
+        """Disable emission and return the sink (callers may close it)."""
+        sink = self.sink
+        self.sink = NullSink()
+        self.enabled = False
+        return sink
+
+    def enable(self) -> None:
+        """Resume emission to the current sink (no-op for a NullSink)."""
+        self.enabled = not isinstance(self.sink, NullSink)
+
+    def disable(self) -> None:
+        """Pause emission; the sink keeps whatever it already received."""
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Emit one event (dropped silently when disabled).
+
+        Hot paths must guard the call with ``if tracer.enabled:`` so the
+        keyword dict is never built on the disabled path; this check is
+        the safety net for cold paths, not the fast path.
+        """
+        if not self.enabled:
+            return
+        self._seq += 1
+        self.sink.emit(TraceEvent(self._seq, self.current_op, kind, fields))
+
+    def operation(self, name: str, **fields: Any) -> Any:
+        """A context manager spanning one logical operation.
+
+        Returns a shared no-op span when disabled, so wrapping an
+        operation costs one call and one branch on the untraced path.
+        Entering the real span emits ``op_begin`` (with ``fields``),
+        leaving it emits ``op_end`` (with the exception name, if one is
+        propagating); events inside carry the span's op id.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, fields)
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recently emitted event."""
+        return self._seq
+
+    def _next_op(self) -> int:
+        self._ops += 1
+        return self._ops

@@ -1,0 +1,117 @@
+"""The observability probe: metrics snapshot + tracing-overhead figure.
+
+Runs once per ``repro perf`` suite, separately from the timed cases, and
+fills the ``observability`` field of the ``BENCH_<suite>.json`` snapshot
+with two things the dashboards and the acceptance gate read:
+
+- a :class:`~repro.obs.MetricsRegistry` snapshot taken by replaying a
+  bounded traced workload through a :class:`~repro.obs.MetricsSink`
+  (per-op nodes-visited and guard-check histograms, split fan-out,
+  buffer hit-ratio over time);
+- ``overhead`` — the measured cost of the *disabled* tracer on the
+  exact-match path (null sink, best-of ratio against the same loop on
+  the same tree), the number ``docs/OBSERVABILITY.md`` quotes.  The
+  tree's tracer is disabled in both timed loops; the ratio isolates
+  run-to-run noise, so values hover around 1.0 and the gate asserts the
+  *absolute* per-op cost stays small rather than chasing the ratio.
+
+The probe workload is bounded (``PROBE_POINTS`` records) so the perf run
+stays fast at every scale; its population is drawn from the same seeded
+generator as the timed cases.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from repro.obs import MetricsSink, RingSink
+from repro.perf.registry import Scale
+from repro.storage import BufferPool, PageStore
+from repro.workloads import uniform
+
+__all__ = ["observability_snapshot"]
+
+#: Record-count cap for the probe workload.
+PROBE_POINTS = 2000
+#: Exact-match lookups per timed overhead loop.
+PROBE_LOOKUPS = 500
+#: Best-of repeats for the overhead timing.
+PROBE_REPEATS = 5
+
+
+def _probe_tree(scale: Scale) -> tuple[BVTree, list[tuple[float, ...]]]:
+    space = DataSpace.unit(scale.dims, resolution=scale.resolution)
+    n = min(scale.n_points, PROBE_POINTS)
+    points = [tuple(p) for p in uniform(n, scale.dims, seed=scale.seed)]
+    pool = BufferPool(PageStore(), capacity=256)
+    tree = BVTree(
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=pool,
+    )
+    return tree, points
+
+
+def _traced_metrics(scale: Scale) -> dict[str, Any]:
+    """Replay a traced workload through a MetricsSink; return its snapshot."""
+    tree, points = _probe_tree(scale)
+    sink = MetricsSink()
+    tree.tracer.attach(sink)
+    for i, point in enumerate(points):
+        tree.insert(point, i, replace=True)
+    for point in points[:PROBE_LOOKUPS]:
+        tree.get(point)
+    lo = tuple(0.25 for _ in range(scale.dims))
+    hi = tuple(0.75 for _ in range(scale.dims))
+    tree.range_query(lo, hi)
+    for point in points[: min(len(points), 10)]:
+        tree.nearest(point, k=scale.k)
+    tree.tracer.detach()
+    return sink.snapshot()
+
+
+def _overhead(scale: Scale) -> dict[str, Any]:
+    """Best-of timing of the exact-match loop: disabled tracer vs ring sink.
+
+    ``disabled_us_per_op`` (null sink, the shipping default) is the
+    headline; ``ring_overhead_ratio`` shows what a live in-memory capture
+    costs relative to it.
+    """
+    tree, points = _probe_tree(scale)
+    tree.bulk_load([(p, i) for i, p in enumerate(points)], replace=True)
+    probes = points[:PROBE_LOOKUPS]
+    get = tree.get
+
+    def timed() -> float:
+        best = float("inf")
+        for _ in range(PROBE_REPEATS):
+            start = time.perf_counter()
+            for point in probes:
+                get(point)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    disabled = timed()
+    ring = RingSink(capacity=4096)
+    tree.tracer.attach(ring)
+    traced = timed()
+    tree.tracer.detach()
+    return {
+        "lookups": len(probes),
+        "disabled_us_per_op": disabled / len(probes) * 1e6,
+        "ring_us_per_op": traced / len(probes) * 1e6,
+        "ring_overhead_ratio": traced / disabled if disabled > 0 else None,
+    }
+
+
+def observability_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``observability`` block of a ``BENCH_<suite>.json`` snapshot."""
+    return {
+        "probe_points": min(scale.n_points, PROBE_POINTS),
+        "metrics": _traced_metrics(scale),
+        "overhead": _overhead(scale),
+    }

@@ -91,6 +91,10 @@ class SuiteResult:
     #: Cross-case figures (speedups, equal-visit checks) computed by the
     #: runner; see :func:`repro.perf.runner.derive_metrics`.
     derived: dict[str, Any] = field(default_factory=dict)
+    #: Metrics-registry snapshot and tracing-overhead figures from the
+    #: observability probe (:mod:`repro.perf.obsprobe`).  Additive field:
+    #: absent in pre-probe snapshots, so the schema version is unchanged.
+    observability: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -107,6 +111,7 @@ class SuiteResult:
             "scale": self.scale,
             "results": [result.to_dict() for result in self.results],
             "derived": self.derived,
+            "observability": self.observability,
         }
 
     def to_json(self) -> str:
@@ -132,6 +137,7 @@ class SuiteResult:
             scale=dict(data["scale"]),
             results=[BenchResult.from_dict(r) for r in data["results"]],
             derived=dict(data.get("derived", {})),
+            observability=dict(data.get("observability", {})),
         )
 
     @classmethod

@@ -20,6 +20,7 @@ from typing import Any, Callable
 from repro.errors import ReproError
 from repro.bench.reporting import format_table
 from repro.perf import scenarios
+from repro.perf.obsprobe import observability_snapshot
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult, SuiteResult, compare
 from repro.perf.timer import measure
@@ -32,12 +33,16 @@ def run_suite(
     suite: str = "core",
     only: list[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    observability: bool = True,
 ) -> SuiteResult:
     """Execute the registered cases and assemble a :class:`SuiteResult`.
 
     ``only`` restricts the run to the named cases (suite-level derived
     metrics that need absent cases are simply omitted); ``progress`` is
-    called with each case name as it starts, for CLI feedback.
+    called with each case name as it starts, for CLI feedback.  With
+    ``observability`` (the default), a bounded traced workload fills the
+    snapshot's metrics/overhead block after the timed cases finish
+    (never concurrently — the probe must not perturb the timings).
     """
     if only:
         unknown = sorted(set(only) - set(REGISTRY))
@@ -76,6 +81,11 @@ def run_suite(
                 counters=counters,
             )
         )
+    obs: dict[str, Any] = {}
+    if observability:
+        if progress is not None:
+            progress("observability probe")
+        obs = observability_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -83,6 +93,7 @@ def run_suite(
         scale=scale.to_dict(),
         results=results,
         derived=derive_metrics(results),
+        observability=obs,
     )
 
 
@@ -143,6 +154,8 @@ def render_text(
             for key, value in sorted(result.derived.items())
         ]
         blocks.append(format_table(["derived metric", "value"], derived_rows))
+    if result.observability:
+        blocks.append(_render_observability(result.observability))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -162,6 +175,44 @@ def render_text(
             title=f"vs baseline from {baseline.created}",
         ))
     return "\n\n".join(blocks)
+
+
+def _render_observability(obs: dict[str, Any]) -> str:
+    """The observability-probe block of the text report."""
+    rows: list[list[Any]] = []
+    overhead = obs.get("overhead", {})
+    if overhead:
+        rows.append([
+            "tracer disabled (null sink)",
+            f"{overhead.get('disabled_us_per_op', 0.0):.2f} us/get",
+        ])
+        rows.append([
+            "tracer + ring sink",
+            f"{overhead.get('ring_us_per_op', 0.0):.2f} us/get",
+        ])
+        ratio = overhead.get("ring_overhead_ratio")
+        if ratio is not None:
+            rows.append(["ring-sink overhead", f"{ratio:.2f}x"])
+    metrics = obs.get("metrics", {})
+    for name in (
+        "descent.nodes_visited",
+        "descent.guard_checks",
+        "split.fanout",
+    ):
+        entry = metrics.get(name)
+        if entry and entry.get("count"):
+            rows.append([
+                name,
+                f"mean {entry['mean']:.2f} over {entry['count']} ops",
+            ])
+    ratio_entry = metrics.get("buffer.hit_ratio")
+    if ratio_entry is not None:
+        rows.append(["buffer.hit_ratio", f"{ratio_entry['value']:.3f}"])
+    return format_table(
+        ["observability", "value"],
+        rows,
+        title=f"observability probe (n={obs.get('probe_points')})",
+    )
 
 
 def _fmt_derived(value: Any) -> str:

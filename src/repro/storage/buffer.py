@@ -6,6 +6,8 @@ from collections import OrderedDict
 from typing import Any, Iterator
 
 from repro.errors import StorageError
+from repro.obs.events import PAGE_READ
+from repro.obs.tracer import Tracer
 from repro.storage.pager import PageStore
 from repro.storage.stats import BufferStats, SizeClassStats
 
@@ -25,6 +27,15 @@ class BufferPool:
     freeing, size classes, accounting), so it can be passed anywhere a
     store is expected — e.g. ``BVTree(space, store=BufferPool(PageStore()))``
     to measure an index's cache behaviour.
+
+    Tracing: the pool *shares* its store's tracer (the ``tracer``
+    property delegates), and every logical read emits exactly one
+    ``page_read`` event — a hit emits ``physical=False`` from the pool,
+    a miss is covered by the single ``physical=True`` event the store's
+    fault-in read emits.  Counting a trace's ``physical=True`` events
+    therefore reproduces the store's ``IOStats.reads`` exactly, and the
+    total ``page_read`` count reproduces ``BufferStats.logical_reads``
+    (the integration tests assert both equalities).
     """
 
     def __init__(self, store: PageStore, capacity: int = 64):
@@ -38,6 +49,15 @@ class BufferPool:
     # ------------------------------------------------------------------
     # PageStore surface (decorator passthrough)
     # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The shared tracer (one stream for pool and store events)."""
+        return self.store.tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        self.store.tracer = tracer
 
     @property
     def page_bytes(self) -> int:
@@ -94,7 +114,14 @@ class BufferPool:
         if content is not _ABSENT:
             cache.move_to_end(page_id)
             self.stats.hits += 1
+            tracer = self.store.tracer
+            if tracer.enabled:
+                tracer.emit(PAGE_READ, page=page_id, physical=False)
             return content
+        # The fault-in read below emits the miss's single page_read event
+        # (physical=True) from the store — the pool must not emit its own
+        # logical event here, or one miss would be traced twice and the
+        # trace-derived counts would drift from IOStats.reads.
         content = self.store.read(page_id)
         self.stats.misses += 1
         self._install(page_id, content)

@@ -17,12 +17,17 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Protocol, runtime_checkable
 
+from repro.obs.tracer import Tracer
 from repro.storage.stats import SizeClassStats
 
 
 @runtime_checkable
 class Storage(Protocol):
     """Paged storage: allocation, access and accounting of pages."""
+
+    #: The tracer counted accesses emit through (settable: a tree shares
+    #: its own tracer with its store so page events join one stream).
+    tracer: Tracer
 
     @property
     def page_bytes(self) -> int:

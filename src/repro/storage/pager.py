@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.errors import PageNotFoundError, StorageError
+from repro.obs.events import PAGE_READ, PAGE_WRITE
+from repro.obs.tracer import Tracer
 from repro.storage.stats import IOStats, SizeClassStats
 
 
@@ -16,6 +18,12 @@ class PageStore:
     Size class ``k`` has ``page_bytes * (k + 1)`` bytes by default, matching
     the paper's "every page at index level x is of size B·x"; callers may
     instead register explicit byte sizes with :meth:`register_size_class`.
+
+    Every counted access also emits a ``page_read``/``page_write`` trace
+    event through ``self.tracer`` when tracing is enabled — one event per
+    counted I/O, so a trace's page counts always equal :class:`IOStats`
+    (a tree attaches its own tracer here; see
+    :class:`~repro.core.tree.BVTree`).
     """
 
     def __init__(self, page_bytes: int = 4096):
@@ -23,6 +31,8 @@ class PageStore:
             raise StorageError(f"page size must be positive, got {page_bytes}")
         self.page_bytes = page_bytes
         self.stats = IOStats()
+        #: Shared with the owning tree (and any buffer pool in front).
+        self.tracer = Tracer()
         self._pages: dict[int, Any] = {}
         self._size_class: dict[int, int] = {}
         self._classes: dict[int, SizeClassStats] = {}
@@ -82,6 +92,9 @@ class PageStore:
         except KeyError:
             raise PageNotFoundError(f"page {page_id} is not allocated") from None
         self.stats.reads += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(PAGE_READ, page=page_id, physical=True)
         return content
 
     def peek(self, page_id: int) -> Any:
@@ -97,6 +110,9 @@ class PageStore:
             raise PageNotFoundError(f"page {page_id} is not allocated")
         self._pages[page_id] = content
         self.stats.writes += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(PAGE_WRITE, page=page_id)
 
     def free(self, page_id: int) -> None:
         """Release a page."""

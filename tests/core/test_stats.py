@@ -12,6 +12,47 @@ class TestOpCounters:
         assert counters.data_splits == 0
         assert counters.promotions == 0
 
+    def test_snapshot_is_an_independent_copy(self):
+        counters = OpCounters(inserts=4, merges=1)
+        snap = counters.snapshot()
+        counters.inserts += 3
+        assert snap.inserts == 4
+        assert snap.merges == 1
+
+    def test_delta_measures_only_the_window(self):
+        counters = OpCounters(data_splits=2)
+        before = counters.snapshot()
+        counters.data_splits += 5
+        counters.promotions += 1
+        delta = counters.delta(before)
+        assert delta.data_splits == 5
+        assert delta.promotions == 1
+        assert delta.inserts == 0
+
+    def test_delta_across_reset_goes_negative(self):
+        counters = OpCounters(demotions=6)
+        before = counters.snapshot()
+        counters.reset()
+        counters.demotions += 1
+        assert counters.delta(before).demotions == -5
+
+    def test_to_dict_covers_every_field(self):
+        counters = OpCounters(inserts=1, redistributions=2)
+        data = counters.to_dict()
+        assert data["inserts"] == 1
+        assert data["redistributions"] == 2
+        assert set(data) == set(OpCounters.__dataclass_fields__)
+
+    def test_live_counts_on_a_real_tree(self, unit2):
+        tree = BVTree(unit2, data_capacity=4, fanout=4)
+        before = tree.stats.snapshot()
+        for i, p in enumerate(make_points(300, 2, seed=60)):
+            tree.insert(p, i, replace=True)
+        delta = tree.stats.delta(before)
+        assert delta.inserts == 300
+        assert delta.data_splits > 0
+        assert delta.to_dict() == tree.stats.delta(before).to_dict()
+
 
 class TestCollect:
     def test_empty_tree(self, small_tree):

@@ -118,3 +118,72 @@ class TestParser:
     def test_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--workload", "bogus"])
+
+
+EXPLAIN_TINY = [
+    "explain",
+    "--n", "400",
+    "--data-capacity", "4",
+    "--fanout", "4",
+]
+
+TRACE_TINY = [
+    "trace",
+    "--n", "400",
+    "--data-capacity", "4",
+    "--fanout", "4",
+]
+
+
+class TestExplain:
+    def test_point_text_report(self, capsys):
+        assert main(EXPLAIN_TINY + ["--point", "0.5", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN point")
+        assert "pages touched:" in out
+
+    def test_rect_json_report(self, capsys):
+        assert main(
+            EXPLAIN_TINY
+            + ["--rect", "0.2", "0.2", "0.6", "0.6", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "range"
+        assert data["pages_touched"] > 0
+        assert data["result"]["records"] > 0
+
+    def test_knn_report(self, capsys):
+        assert main(EXPLAIN_TINY + ["--knn", "0.5", "0.5", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN knn" in out
+        assert "neighbours=5" in out
+
+    def test_requires_exactly_one_query(self, capsys):
+        assert main(EXPLAIN_TINY) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            EXPLAIN_TINY + ["--point", "0.5", "0.5", "--knn", "0.1", "0.1"]
+        ) == 2
+
+    def test_rect_arity_checked(self, capsys):
+        assert main(EXPLAIN_TINY + ["--rect", "0.1", "0.2", "0.9"]) == 2
+        assert "--rect needs 4 floats" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_ring_trace_counts_match_counters(self, capsys):
+        assert main(TRACE_TINY) == 0
+        out = capsys.readouterr().out
+        assert "event kind" in out
+        assert "data_split" in out
+        assert "op_begin" in out
+
+    def test_jsonl_trace_writes_artifact(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(TRACE_TINY + ["--out", str(path)]) == 0
+        capsys.readouterr()
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(path)
+        assert events
+        assert {e.kind for e in events} >= {"op_begin", "op_end", "page_read"}

@@ -427,3 +427,67 @@ class TestR8TypeCheckingOnly:
             """,
         )
         assert findings == []
+
+
+class TestR10CorePrintBan:
+    def test_flags_print_call(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def debug_split(entry):
+                print("splitting", entry)
+            """,
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_flags_logging_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            import logging
+            """,
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_flags_from_warnings_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from warnings import warn
+            """,
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_tracer_emission_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def record_split(tree, entry):
+                tracer = tree.tracer
+                if tracer.enabled:
+                    tracer.emit("data_split", key=entry.key.bit_string())
+            """,
+        )
+        assert findings == []
+
+    def test_non_core_code_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/cli.py",
+            """
+            def show(report):
+                print(report.render_text())
+            """,
+        )
+        assert findings == []
+
+    def test_shadowed_print_is_still_flagged(self, lint_snippet):
+        # The rule is syntactic by design: a local named ``print`` in
+        # core code is exactly the obfuscation it should refuse.
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def emit(print):
+                print("not really builtins.print")
+            """,
+        )
+        assert codes(findings) == ["R10"]

@@ -1,0 +1,75 @@
+"""Tests for the trace event model and its JSONL wire form."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    DATA_SPLIT,
+    DEMOTION,
+    EVENT_KINDS,
+    INDEX_SPLIT,
+    MERGE,
+    OP_BEGIN,
+    OP_END,
+    PROMOTION,
+    REDISTRIBUTE,
+    STRUCTURAL_KINDS,
+    TraceEvent,
+)
+
+
+class TestTraceEvent:
+    def test_round_trip(self):
+        event = TraceEvent(
+            seq=7, op=2, kind=DATA_SPLIT, fields={"key": "01", "moved": 3}
+        )
+        data = event.to_dict()
+        assert data == {
+            "seq": 7,
+            "op": 2,
+            "kind": "data_split",
+            "key": "01",
+            "moved": 3,
+        }
+        assert TraceEvent.from_dict(data) == event
+
+    def test_fieldless_round_trip(self):
+        event = TraceEvent(seq=1, op=0, kind=OP_BEGIN)
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_envelope_collision_rejected(self):
+        event = TraceEvent(seq=1, op=0, kind=OP_END, fields={"seq": 9})
+        with pytest.raises(ReproError, match="collides with the envelope"):
+            event.to_dict()
+
+    def test_missing_envelope_key_rejected(self):
+        with pytest.raises(ReproError, match="missing"):
+            TraceEvent.from_dict({"seq": 1, "kind": "op_begin"})
+
+    def test_is_frozen(self):
+        event = TraceEvent(seq=1, op=0, kind=OP_BEGIN)
+        with pytest.raises(AttributeError):
+            event.seq = 2  # type: ignore[misc]
+
+
+class TestKindCatalogue:
+    def test_structural_kinds_are_event_kinds(self):
+        assert STRUCTURAL_KINDS <= EVENT_KINDS
+
+    def test_structural_kinds_mirror_op_counters(self):
+        # One kind per OpCounters structural field — the replay tests
+        # rely on this correspondence being exhaustive.
+        assert STRUCTURAL_KINDS == frozenset(
+            {
+                DATA_SPLIT,
+                INDEX_SPLIT,
+                PROMOTION,
+                DEMOTION,
+                MERGE,
+                REDISTRIBUTE,
+            }
+        )
+
+    def test_spans_are_not_structural(self):
+        assert OP_BEGIN not in STRUCTURAL_KINDS
+        assert OP_END not in STRUCTURAL_KINDS

@@ -1,0 +1,189 @@
+"""Tests for the metrics instruments, registry and trace-fed sink."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    DATA_SPLIT,
+    DESCENT_STEP,
+    GUARD_HIT,
+    OP_BEGIN,
+    OP_END,
+    PAGE_READ,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    NODES_VISITED_BUCKETS,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"type": "counter", "value": 5}
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ReproError, match="cannot decrease"):
+            Counter("ops").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("ratio")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.to_dict() == {"type": "gauge", "value": 0.75}
+
+
+class TestHistogram:
+    def test_buckets_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        for value in (1, 2, 2, 3, 9):
+            hist.observe(value)
+        # counts: <=1, <=2, <=4, overflow
+        assert hist.counts == [1, 2, 1, 1]
+        assert hist.count == 5
+        assert hist.total == 17.0
+        assert hist.mean == pytest.approx(3.4)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h", buckets=(1,)).mean == 0.0
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ReproError, match="at least one bucket"):
+            Histogram("h", buckets=())
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ReproError, match="strictly increase"):
+            Histogram("h", buckets=(1, 1, 2))
+
+    def test_to_dict_shape(self):
+        hist = Histogram("h", buckets=(2, 4))
+        hist.observe(3)
+        assert hist.to_dict() == {
+            "type": "histogram",
+            "buckets": [2, 4],
+            "counts": [0, 1, 0],
+            "count": 1,
+            "total": 3.0,
+            "mean": 3.0,
+        }
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        hist = registry.histogram("h", buckets=(1, 2))
+        assert registry.histogram("h") is hist
+
+    def test_type_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ReproError, match="not a Gauge"):
+            registry.gauge("a")
+        with pytest.raises(ReproError, match="not a Histogram"):
+            registry.histogram("a", buckets=(1,))
+
+    def test_histogram_needs_buckets_on_first_use(self):
+        with pytest.raises(ReproError, match="pass its buckets"):
+            MetricsRegistry().histogram("h")
+
+    def test_names_and_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.5)
+        assert registry.names() == ["a", "b"]
+        snap = registry.snapshot()
+        assert snap["a"] == {"type": "gauge", "value": 1.5}
+        assert snap["b"] == {"type": "counter", "value": 1}
+        registry.reset()
+        assert registry.names() == []
+
+
+def span(op: int, inner: list[tuple[str, dict]]) -> list[TraceEvent]:
+    """A synthetic operation span with ``inner`` events, seq-stamped later."""
+    events = [(OP_BEGIN, {"name": "get"})] + inner + [(OP_END, {"name": "get"})]
+    return [
+        TraceEvent(seq=0, op=op, kind=kind, fields=fields)
+        for kind, fields in events
+    ]
+
+
+class TestMetricsSink:
+    def test_rejects_non_positive_sample_every(self):
+        with pytest.raises(ReproError, match="sample_every"):
+            MetricsSink(sample_every=0)
+
+    def test_counts_every_kind(self):
+        sink = MetricsSink()
+        for event in span(1, [(PAGE_READ, {"page": 1, "physical": True})]):
+            sink.emit(event)
+        snap = sink.snapshot()
+        assert snap["events.op_begin"]["value"] == 1
+        assert snap["events.page_read"]["value"] == 1
+        assert snap["events.op_end"]["value"] == 1
+
+    def test_per_descent_histograms_observed_at_op_end(self):
+        sink = MetricsSink()
+        inner = [
+            (DESCENT_STEP, {"level": 2}),
+            (GUARD_HIT, {"level": 1}),
+            (DESCENT_STEP, {"level": 1}),
+        ]
+        for event in span(1, inner):
+            sink.emit(event)
+        for event in span(2, [(DESCENT_STEP, {"level": 1})]):
+            sink.emit(event)
+        snap = sink.snapshot()
+        visited = snap["descent.nodes_visited"]
+        assert visited["count"] == 2
+        assert visited["total"] == 3.0
+        assert visited["buckets"] == list(NODES_VISITED_BUCKETS)
+        guards = snap["descent.guard_checks"]
+        assert guards["count"] == 1
+        assert guards["total"] == 1.0
+
+    def test_span_without_descent_records_no_observation(self):
+        sink = MetricsSink()
+        for event in span(1, []):
+            sink.emit(event)
+        assert "descent.nodes_visited" not in sink.snapshot()
+
+    def test_split_fanout_from_moved_field(self):
+        sink = MetricsSink()
+        sink.emit(TraceEvent(1, 0, DATA_SPLIT, {"key": "0", "moved": 3}))
+        sink.emit(TraceEvent(2, 0, DATA_SPLIT, {"key": "1"}))  # no moved
+        snap = sink.snapshot()
+        assert snap["split.fanout"]["count"] == 1
+        assert snap["split.fanout"]["total"] == 3.0
+
+    def test_hit_ratio_gauge_and_series(self):
+        sink = MetricsSink(sample_every=2)
+        reads = [True, False, False, True]  # physical flags
+        for i, physical in enumerate(reads):
+            sink.emit(
+                TraceEvent(i + 1, 0, PAGE_READ, {"page": i, "physical": physical})
+            )
+        snap = sink.snapshot()
+        assert snap["buffer.hit_ratio"]["value"] == pytest.approx(0.5)
+        samples = snap["buffer.hit_ratio_series"]["samples"]
+        assert samples == [
+            {"reads": 2, "ratio": pytest.approx(0.5)},
+            {"reads": 4, "ratio": pytest.approx(0.5)},
+        ]
+
+    def test_series_is_bounded(self):
+        sink = MetricsSink(sample_every=1)
+        for i in range(MetricsSink.MAX_SAMPLES + 10):
+            sink.emit(TraceEvent(i + 1, 0, PAGE_READ, {"physical": False}))
+        assert len(sink.hit_ratio_series) == MetricsSink.MAX_SAMPLES

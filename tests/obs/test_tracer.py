@@ -1,0 +1,132 @@
+"""Tests for the span-aware tracer and its disabled-path guarantees."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import OP_BEGIN, OP_END, PAGE_READ
+from repro.obs.sinks import NullSink, RingSink
+from repro.obs.tracer import Tracer
+
+
+class TestEnablement:
+    def test_default_is_disabled_null_sink(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        assert isinstance(tracer.sink, NullSink)
+
+    def test_real_sink_enables_at_construction(self):
+        tracer = Tracer(RingSink())
+        assert tracer.enabled is True
+
+    def test_disabled_emit_is_dropped(self):
+        tracer = Tracer()
+        tracer.emit(PAGE_READ, page=1)
+        assert tracer.seq == 0
+
+    def test_attach_enables_and_detach_returns_sink(self):
+        tracer = Tracer()
+        sink = RingSink()
+        tracer.attach(sink)
+        assert tracer.enabled is True
+        tracer.emit(PAGE_READ, page=1)
+        returned = tracer.detach()
+        assert returned is sink
+        assert tracer.enabled is False
+        assert isinstance(tracer.sink, NullSink)
+        assert len(sink) == 1
+
+    def test_attach_null_sink_stays_disabled(self):
+        tracer = Tracer()
+        tracer.attach(NullSink())
+        assert tracer.enabled is False
+
+    def test_disable_pauses_without_losing_sink(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        tracer.emit(PAGE_READ, page=1)
+        tracer.disable()
+        tracer.emit(PAGE_READ, page=2)
+        tracer.enable()
+        tracer.emit(PAGE_READ, page=3)
+        pages = [event.fields["page"] for event in sink.events()]
+        assert pages == [1, 3]
+
+    def test_enable_on_null_sink_is_a_no_op(self):
+        tracer = Tracer()
+        tracer.enable()
+        assert tracer.enabled is False
+
+
+class TestEmission:
+    def test_seq_increases_monotonically(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        tracer.emit(PAGE_READ, page=1)
+        tracer.emit(PAGE_READ, page=2)
+        assert [event.seq for event in sink.events()] == [1, 2]
+        assert tracer.seq == 2
+
+    def test_events_outside_spans_carry_op_zero(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        tracer.emit(PAGE_READ, page=1)
+        assert sink.events()[0].op == 0
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_no_op(self):
+        tracer = Tracer()
+        span = tracer.operation("insert")
+        assert span is tracer.operation("delete")
+        with span as op:
+            assert op == 0
+        assert tracer.seq == 0
+
+    def test_span_brackets_and_stamps_events(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        with tracer.operation("insert", point=[0.5, 0.5]) as op:
+            tracer.emit(PAGE_READ, page=3)
+        kinds = [event.kind for event in sink.events()]
+        assert kinds == [OP_BEGIN, PAGE_READ, OP_END]
+        begin, read, end = sink.events()
+        assert begin.fields == {"name": "insert", "point": [0.5, 0.5]}
+        assert read.op == op
+        assert begin.op == op and end.op == op
+        assert end.fields == {"name": "insert"}
+        assert tracer.current_op == 0
+
+    def test_nested_spans_restore_outer_op(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        with tracer.operation("outer") as outer_op:
+            with tracer.operation("inner") as inner_op:
+                tracer.emit(PAGE_READ, page=1)
+            tracer.emit(PAGE_READ, page=2)
+        assert inner_op != outer_op
+        by_page = {
+            event.fields["page"]: event.op
+            for event in sink.events()
+            if event.kind == PAGE_READ
+        }
+        assert by_page == {1: inner_op, 2: outer_op}
+
+    def test_exception_stamps_op_end_with_error(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        with pytest.raises(ReproError):
+            with tracer.operation("insert"):
+                raise ReproError("boom")
+        end = sink.events()[-1]
+        assert end.kind == OP_END
+        assert end.fields["error"] == "ReproError"
+        assert tracer.current_op == 0
+
+    def test_distinct_spans_get_distinct_op_ids(self):
+        sink = RingSink()
+        tracer = Tracer(sink)
+        ops = []
+        for _ in range(3):
+            with tracer.operation("get") as op:
+                ops.append(op)
+        assert len(set(ops)) == 3

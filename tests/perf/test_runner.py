@@ -57,6 +57,16 @@ class TestRunSuite:
     def test_progress_callback(self):
         seen = []
         run_suite(TINY, only=["exact_match"], progress=seen.append)
+        assert seen == ["exact_match", "observability probe"]
+
+    def test_progress_without_observability(self):
+        seen = []
+        run_suite(
+            TINY,
+            only=["exact_match"],
+            progress=seen.append,
+            observability=False,
+        )
         assert seen == ["exact_match"]
 
 
@@ -108,3 +118,13 @@ class TestRenderText:
         text = render_text(suite_result, baseline=suite_result)
         assert "vs baseline" in text
         assert "1.00x" in text
+
+    def test_observability_block(self, suite_result):
+        obs = suite_result.observability
+        assert obs["overhead"]["disabled_us_per_op"] > 0
+        assert obs["overhead"]["ring_us_per_op"] > 0
+        assert obs["metrics"]["descent.nodes_visited"]["count"] > 0
+        text = render_text(suite_result)
+        assert "observability probe" in text
+        assert "tracer disabled (null sink)" in text
+        assert "buffer.hit_ratio" in text
