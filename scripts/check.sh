@@ -37,4 +37,22 @@ assert events, "obs smoke produced an empty trace"
 PY
 rm -f "$obs_trace"
 
+echo "== doctor smoke =="
+# The guarantee doctor on an adversarial churn workload must pass all
+# three verdicts with a clean audit (non-zero exit otherwise), and the
+# time-series artifact must parse back.
+doctor_series="${TMPDIR:-/tmp}/repro-doctor-smoke.json"
+python -m repro doctor --workload storm --n 10000 --churn 0.25 \
+    --series-out "$doctor_series" >/dev/null
+python - "$doctor_series" <<'PY'
+import json, sys
+record = json.load(open(sys.argv[1]))
+series = record["timeseries"]
+assert series["ops"], "doctor smoke produced an empty time series"
+assert all(
+    len(col) == len(series["ops"]) for col in series["metrics"].values()
+), "doctor time-series columns are ragged"
+PY
+rm -f "$doctor_series"
+
 echo "all checks passed"

@@ -10,6 +10,7 @@
     python -m repro lint src/repro tests       # domain-aware static analysis
     python -m repro explain --point 0.3 0.7    # what would this query do?
     python -m repro trace --out trace.jsonl    # record a traced workload
+    python -m repro doctor --workload storm    # score the paper guarantees
 """
 
 from __future__ import annotations
@@ -323,6 +324,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    if args.bench is not None:
+        # Snapshot mode: re-render the health block of a written
+        # BENCH_<suite>.json and exit with its verdict.
+        with open(args.bench, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        health = data.get("health")
+        if not health:
+            print(
+                f"doctor: {args.bench} has no health block "
+                "(regenerate with repro perf)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.format == "json":
+            print(json.dumps(health, indent=2))
+        else:
+            print(f"health block of {args.bench}")
+            for name, verdict in health.get("verdicts", {}).items():
+                print(f"  [{verdict.upper()}] {name}")
+        return 0 if health.get("ok") else 1
+
+    from repro.core.tree import BVTree
+    from repro.obs import HealthThresholds, render_doctor_text, run_doctor
+    from repro.workloads import churn as churn_ops
+
+    space = DataSpace.unit(args.dims, resolution=18)
+    raw = WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    # Path-deduplicate: churn tracks live points by float tuple but the
+    # tree keys records by the leading resolution bits, so colliding
+    # points would make churn delete an already-replaced record.
+    seen = set()
+    points = []
+    for point in raw:
+        path = space.point_path(point)
+        if path not in seen:
+            seen.add(path)
+            points.append(point)
+    tree = BVTree(
+        space,
+        data_capacity=args.data_capacity,
+        fanout=args.fanout,
+        policy=args.policy,
+    )
+    operations = (
+        churn_ops(points, delete_fraction=args.churn, seed=args.seed)
+        if args.churn
+        else (("insert", tuple(p)) for p in points)
+    )
+    result = run_doctor(
+        tree,
+        operations,
+        sample_every=args.every,
+        thresholds=HealthThresholds(height_slack=args.height_slack),
+        workload=args.workload,
+    )
+    if args.series_out:
+        record = {
+            "workload": args.workload,
+            "n": args.n,
+            "dims": args.dims,
+            "timeseries": result.timeseries,
+        }
+        with open(args.series_out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        if args.format == "text":
+            print(f"wrote time series to {args.series_out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(render_doctor_text(result))
+    return result.exit_code
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: linting pulls in the whole rule registry, which the
     # analysis/demo subcommands never need.
@@ -452,6 +529,49 @@ def build_parser() -> argparse.ArgumentParser:
                 help="ring-buffer capacity when --out is not given",
             )
             p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "doctor",
+        help="score the paper's three guarantees on a live workload",
+        description=(
+            "Drives a workload under the guarantee monitor (live "
+            "per-level occupancy, height, split chains), audits the "
+            "incremental gauges against a full sweep, scores the three "
+            "paper guarantees and prints a per-level health table. "
+            "Exits 0 when all guarantees hold, 1 on a violation, 2 on "
+            "audit drift; see docs/OBSERVABILITY.md."
+        ),
+    )
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="uniform")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--data-capacity", type=int, default=16)
+    p.add_argument("--fanout", type=int, default=16)
+    p.add_argument("--policy", choices=["scaled", "uniform"], default="scaled")
+    p.add_argument(
+        "--churn", type=float, default=0.0, metavar="FRACTION",
+        help="interleave this fraction of deletions into the stream",
+    )
+    p.add_argument(
+        "--every", type=int, default=256, metavar="OPS",
+        help="time-series sampling stride (operations per sample)",
+    )
+    p.add_argument(
+        "--height-slack", type=int, default=1,
+        help="extra levels tolerated above the analytic height bound",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--series-out", default=None, metavar="PATH",
+        help="write the columnar health time series as JSON to PATH",
+    )
+    p.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="render the health block of an existing BENCH_<suite>.json "
+             "instead of running a workload",
+    )
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser(
         "lint",

@@ -113,7 +113,7 @@ def bulk_load(
         inner_entry = Entry(split_key, 0, inner_page)
         tree.register_entry(inner_entry)
         tree.stats.data_splits += 1
-        if tracer.enabled:
+        if tracer.structural:
             # Planned splits count (and trace) like incremental ones, so
             # a trace replay reproduces the OpCounters delta either way.
             tracer.emit(

@@ -194,7 +194,7 @@ def _try_absorb(
 
     tree.stats.merges += 1
     tracer = tree.tracer
-    if tracer.enabled:
+    if tracer.structural:
         # Co-located with the stats bump: trace replay must reproduce the
         # OpCounters delta exactly (the integration tests assert this).
         tracer.emit(
@@ -212,7 +212,7 @@ def _try_absorb(
         _remove_entry(tree, victim, find_owner(tree, victim))
         if tree.policy.data_overflows(len(into_page)):
             tree.stats.redistributions += 1
-            if tracer.enabled:
+            if tracer.structural:
                 tracer.emit(
                     REDISTRIBUTE, level=0, key=into.key.bit_string()
                 )
@@ -230,7 +230,7 @@ def _try_absorb(
         _remove_entry(tree, victim, find_owner(tree, victim))
         if tree.policy.index_overflows(into_node):
             tree.stats.redistributions += 1
-            if tracer.enabled:
+            if tracer.structural:
                 tracer.emit(
                     REDISTRIBUTE,
                     level=into.level,
@@ -292,7 +292,7 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
 
     tree.stats.merges += 1
     tracer = tree.tracer
-    if tracer.enabled:
+    if tracer.structural:
         tracer.emit(
             MERGE,
             mode="buddy",
@@ -325,7 +325,7 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
         page = tree.store.read(merged.page)
         if tree.policy.data_overflows(len(page)):
             tree.stats.redistributions += 1
-            if tracer.enabled:
+            if tracer.structural:
                 tracer.emit(
                     REDISTRIBUTE, level=0, key=merged.key.bit_string()
                 )
@@ -334,7 +334,7 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
         node = tree.store.read(merged.page)
         if tree.policy.index_overflows(node):
             tree.stats.redistributions += 1
-            if tracer.enabled:
+            if tracer.structural:
                 tracer.emit(
                     REDISTRIBUTE,
                     level=merged.level,

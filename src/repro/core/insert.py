@@ -78,10 +78,12 @@ def split_data_page(tree: "BVTree", entry: Entry) -> None:
     tree.store.write(entry.page, page)
     tree.stats.data_splits += 1
     tracer = tree.tracer
-    if tracer.enabled:
+    if tracer.structural:
         # Every stats bump has a co-located event: replaying a trace's
         # structural events must reproduce the OpCounters delta exactly
-        # (the integration tests assert this).
+        # (the integration tests assert this).  Structural sites guard on
+        # ``structural`` so taps (the guarantee monitor) see them even
+        # when full tracing is off.
         tracer.emit(
             DATA_SPLIT,
             key=split_key.bit_string(),
@@ -155,7 +157,7 @@ def split_index_node(tree: "BVTree", node_page: int, entry: Entry) -> None:
     tree.stats.index_splits += 1
     tree.stats.promotions += len(promoted)
     tracer = tree.tracer
-    if tracer.enabled:
+    if tracer.structural:
         tracer.emit(
             INDEX_SPLIT,
             key=split_key.bit_string(),
@@ -311,7 +313,7 @@ def _place_guard(tree: "BVTree", entry: Entry) -> None:
     tree.store.write(node_page, node)
     tree.stats.demotions += 1
     tracer = tree.tracer
-    if tracer.enabled:
+    if tracer.structural:
         tracer.emit(
             DEMOTION,
             key=entry.key.bit_string(),

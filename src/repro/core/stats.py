@@ -95,6 +95,16 @@ class TreeStats:
     data_bytes: int
     data_occupancies: list[int] = field(repr=False, default_factory=list)
     index_occupancies: list[int] = field(repr=False, default_factory=list)
+    #: Raw node populations keyed by level: level 0 lists every data
+    #: page's record count (root included), level ``k`` lists every
+    #: level-``k`` index node's entry count.  The monitor's audit oracle
+    #: compares its incremental histograms against these.
+    occupancies_by_level: dict[int, list[int]] = field(
+        repr=False, default_factory=dict
+    )
+    #: Guard entries counted by the index level of the *node holding*
+    #: them (``guards_by_level`` keys by the guard's own level instead).
+    guards_by_node_level: dict[int, int] = field(default_factory=dict)
 
     @property
     def data_fill_factor(self) -> float:
@@ -106,6 +116,32 @@ class TreeStats:
         """Data pages plus index nodes."""
         return self.data_pages + self.index_nodes
 
+    @property
+    def pages_by_level(self) -> dict[int, int]:
+        """Node counts per level (level 0 = data pages)."""
+        return {
+            level: len(occ)
+            for level, occ in sorted(self.occupancies_by_level.items())
+        }
+
+    def level_occupancy(self) -> dict[int, dict[str, float]]:
+        """Per-level occupancy summary: node count, min and mean.
+
+        Includes the root (the occupancy *guarantee* exempts it — that
+        exemption belongs to the health evaluator and the checker, not to
+        the descriptive statistics).  Levels are sorted ascending.
+        """
+        out: dict[int, dict[str, float]] = {}
+        for level, occ in sorted(self.occupancies_by_level.items()):
+            if not occ:
+                continue
+            out[level] = {
+                "nodes": len(occ),
+                "min": min(occ),
+                "mean": sum(occ) / len(occ),
+            }
+        return out
+
 
 def collect(tree: "BVTree") -> TreeStats:
     """Walk the tree and compute its structural statistics."""
@@ -114,6 +150,8 @@ def collect(tree: "BVTree") -> TreeStats:
     index_occ: list[int] = []
     index_by_level: dict[int, int] = {}
     guards_by_level: dict[int, int] = {}
+    guards_by_node_level: dict[int, int] = {}
+    occ_by_level: dict[int, list[int]] = {}
     index_bytes = 0
 
     root_entry = tree.root_entry()
@@ -126,6 +164,7 @@ def collect(tree: "BVTree") -> TreeStats:
         if entry.level == 0:
             page: DataPage = tree.store.read(entry.page)
             data_occ.append(len(page))
+            occ_by_level.setdefault(0, []).append(len(page))
             if not is_root:
                 nonroot_data.append(len(page))
             continue
@@ -134,6 +173,7 @@ def collect(tree: "BVTree") -> TreeStats:
             index_by_level.get(node.index_level, 0) + 1
         )
         index_occ.append(len(node))
+        occ_by_level.setdefault(node.index_level, []).append(len(node))
         if not is_root:
             nonroot_index.append(len(node))
         index_bytes += policy.index_node_bytes(node.index_level)
@@ -141,6 +181,9 @@ def collect(tree: "BVTree") -> TreeStats:
             if child.level < node.index_level - 1:
                 guards_by_level[child.level] = (
                     guards_by_level.get(child.level, 0) + 1
+                )
+                guards_by_node_level[node.index_level] = (
+                    guards_by_node_level.get(node.index_level, 0) + 1
                 )
             stack.append(child)
 
@@ -169,4 +212,8 @@ def collect(tree: "BVTree") -> TreeStats:
         data_bytes=len(data_occ) * policy.page_bytes,
         data_occupancies=data_occ,
         index_occupancies=index_occ,
+        occupancies_by_level={
+            level: occ_by_level[level] for level in sorted(occ_by_level)
+        },
+        guards_by_node_level=dict(sorted(guards_by_node_level.items())),
     )

@@ -162,8 +162,11 @@ class BVTree:
         Two points identical in the leading ``space.resolution`` bits of
         every coordinate are the same key to the index.
         """
+        # Update ops open spans under the wider ``structural`` guard so a
+        # guarantee monitor (tap-only, no sink) can group split work per
+        # operation; read ops stay on ``enabled``.
         tracer = self.tracer
-        if not tracer.enabled:
+        if not tracer.structural:
             _insert.insert_point(self, point, value, replace=replace)
             return
         with tracer.operation("insert", point=list(point)):
@@ -244,7 +247,7 @@ class BVTree:
         ``insert(..., replace=True)`` would).
         """
         tracer = self.tracer
-        if not tracer.enabled:
+        if not tracer.structural:
             return _bulk.bulk_load(self, records, replace=replace)
         with tracer.operation("bulk_load"):
             return _bulk.bulk_load(self, records, replace=replace)
@@ -303,7 +306,7 @@ class BVTree:
     def delete(self, point: Sequence[float]) -> Any:
         """Remove and return the record at ``point`` (KeyNotFoundError if absent)."""
         tracer = self.tracer
-        if not tracer.enabled:
+        if not tracer.structural:
             return _delete.delete_point(self, point)
         with tracer.operation("delete", point=list(point)):
             return _delete.delete_point(self, point)

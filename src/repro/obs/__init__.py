@@ -18,10 +18,20 @@ not averages:
   :class:`~repro.obs.metrics.MetricsSink`; the perf harness snapshots a
   registry into ``BENCH_<suite>.json``;
 - :mod:`~repro.obs.explain` — ``BVTree.explain(...)`` reports (visited
-  entries per level, guards consulted, prune cut-offs, pages touched).
+  entries per level, guards consulted, prune cut-offs, pages touched);
+- :class:`~repro.obs.monitor.GuaranteeMonitor` — live, O(1)-per-event
+  structural gauges (per-level occupancy histograms, guards, height)
+  fed by a structural tracer *tap*, audited exactly against the
+  full-sweep :func:`~repro.core.stats.collect`;
+- :mod:`~repro.obs.health` + :mod:`~repro.obs.report` — the paper's
+  three guarantees scored into :class:`~repro.obs.health.HealthFinding`
+  verdicts, and the ``repro doctor`` engine;
+- :class:`~repro.obs.metrics.TimeSeriesSink` — columnar registry
+  samples every N operations (a whole workload's health trajectory in
+  one bounded JSON artifact).
 
-CLI: ``repro explain`` and ``repro trace``.  Full schema and usage:
-``docs/OBSERVABILITY.md``.
+CLI: ``repro explain``, ``repro trace`` and ``repro doctor``.  Full
+schema and usage: ``docs/OBSERVABILITY.md``.
 
 This package sits *below* :mod:`repro.core` and :mod:`repro.storage` in
 the dependency order (both emit through it); it imports neither, which
@@ -30,32 +40,53 @@ is what lets a single tracer be shared across the tree and its store.
 
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.explain import ExplainReport, explain_knn, explain_point, explain_range
+from repro.obs.health import (
+    HealthFinding,
+    HealthReport,
+    HealthThresholds,
+    evaluate,
+    height_bound,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     MetricsSink,
+    TimeSeriesSink,
 )
+from repro.obs.monitor import AuditReport, GuaranteeMonitor
+from repro.obs.report import DoctorResult, render_doctor_text, run_doctor
 from repro.obs.sinks import JsonlSink, NullSink, RingSink, TraceSink, read_jsonl
 from repro.obs.tracer import Tracer
 
 __all__ = [
+    "AuditReport",
     "Counter",
+    "DoctorResult",
     "EVENT_KINDS",
     "ExplainReport",
     "Gauge",
+    "GuaranteeMonitor",
+    "HealthFinding",
+    "HealthReport",
+    "HealthThresholds",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
     "MetricsSink",
     "NullSink",
     "RingSink",
+    "TimeSeriesSink",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "evaluate",
     "explain_knn",
     "explain_point",
     "explain_range",
+    "height_bound",
     "read_jsonl",
+    "render_doctor_text",
+    "run_doctor",
 ]

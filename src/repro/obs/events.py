@@ -25,6 +25,8 @@ kind                      emitted when
 ``redistribute``          a merged population re-split (the §5 1/3 guarantee)
 ``page_read``             one page read; ``physical`` False means cache hit
 ``page_write``            one page write
+``page_alloc``            one page allocated (with its ``size_class``)
+``page_free``             one page released
 ``query_visit``           a range/k-NN traversal visited an entry's block
 ``query_prune``           a traversal pruned a block (with the cut-off)
 ========================  ====================================================
@@ -52,6 +54,8 @@ __all__ = [
     "MERGE",
     "OP_BEGIN",
     "OP_END",
+    "PAGE_ALLOC",
+    "PAGE_FREE",
     "PAGE_READ",
     "PAGE_WRITE",
     "PROMOTION",
@@ -73,6 +77,8 @@ MERGE = "merge"
 REDISTRIBUTE = "redistribute"
 PAGE_READ = "page_read"
 PAGE_WRITE = "page_write"
+PAGE_ALLOC = "page_alloc"
+PAGE_FREE = "page_free"
 QUERY_VISIT = "query_visit"
 QUERY_PRUNE = "query_prune"
 
@@ -92,6 +98,8 @@ EVENT_KINDS = frozenset(
         REDISTRIBUTE,
         PAGE_READ,
         PAGE_WRITE,
+        PAGE_ALLOC,
+        PAGE_FREE,
         QUERY_VISIT,
         QUERY_PRUNE,
     }

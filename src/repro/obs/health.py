@@ -1,0 +1,328 @@
+"""Scoring the paper's three guarantees from the monitor's gauges.
+
+Freeston's abstract promises exactly three things for the BV-tree:
+
+1. **Occupancy** — every data and index node is at least one-third full
+   (the policy's ``min_data_occupancy``/``min_index_occupancy``, root
+   exempt, as for a B-tree);
+2. **Logarithmic cost** — the tree's height is O(log n), so every
+   exact-match descent touches O(log n) pages;
+3. **Fully dynamic, no cascade** — an insertion splits at most one node
+   per level on its root path; splitting never cascades sideways.
+
+:func:`evaluate` turns a :class:`~repro.obs.monitor.GuaranteeMonitor`'s
+incremental gauges into structured :class:`HealthFinding` s, one per
+guarantee (plus per-level occupancy detail), each with a severity:
+
+- ``ok`` — the guarantee holds;
+- ``warning`` — the guarantee is formally escaped, not violated: the
+  tree recorded ``deferred_splits``/``deferred_merges`` (the documented
+  conservative escapes for degenerate capacities), which is exactly the
+  condition under which :func:`repro.core.checker.check_tree` skips its
+  occupancy invariant.  The doctor's verdict must agree with the
+  checker, so the evaluator follows the same rule;
+- ``violation`` — the guarantee is broken; ``repro doctor`` exits
+  non-zero.
+
+The height bound is ``ceil(log_m(ceil(n / d_min))) + slack`` with
+``m = max(2, min_index_occupancy)`` and ``d_min = min_data_occupancy``:
+at guaranteed minimum occupancy, ``n`` points need at most
+``ceil(n / d_min)`` data pages and the index over them thins by at
+least ``m`` per level.  ``slack`` (default 1, see
+:class:`HealthThresholds`) absorbs the root-exemption off-by-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.monitor import GuaranteeMonitor
+
+__all__ = [
+    "GUARANTEES",
+    "OK",
+    "VIOLATION",
+    "WARNING",
+    "HealthFinding",
+    "HealthReport",
+    "HealthThresholds",
+    "evaluate",
+    "height_bound",
+]
+
+OK = "ok"
+WARNING = "warning"
+VIOLATION = "violation"
+
+#: The three paper guarantees, in report order.
+GUARANTEES = ("occupancy", "height", "no_cascade")
+
+_SEVERITY_RANK = {OK: 0, WARNING: 1, VIOLATION: 2}
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tunable slack for the guarantee verdicts.
+
+    height_slack:
+        Extra levels tolerated above the analytic bound.  The bound
+        assumes every page at its guaranteed minimum; the root exemption
+        and in-flight splits make one extra level legitimate.
+    max_split_chain:
+        ``None`` (default) bounds an operation's split chain by
+        ``max_height_seen + 1`` — one split per level of the tallest
+        tree the operation could have descended, the paper's no-cascade
+        statement.  A number pins the bound explicitly.
+    """
+
+    height_slack: int = 1
+    max_split_chain: int | None = None
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One scored statement about one guarantee (or one level of it)."""
+
+    guarantee: str
+    severity: str
+    message: str
+    #: The level the finding is about, or ``None`` for whole-tree facts.
+    level: int | None = None
+    #: Offending page ids (bounded; empty when the finding is ``ok``).
+    pages: tuple[int, ...] = ()
+    observed: float | None = None
+    bound: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "guarantee": self.guarantee,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.level is not None:
+            out["level"] = self.level
+        if self.pages:
+            out["pages"] = list(self.pages)
+        if self.observed is not None:
+            out["observed"] = self.observed
+        if self.bound is not None:
+            out["bound"] = self.bound
+        return out
+
+
+@dataclass
+class HealthReport:
+    """All findings, plus the one-line verdict per guarantee."""
+
+    findings: list[HealthFinding] = field(default_factory=list)
+
+    @property
+    def verdicts(self) -> dict[str, str]:
+        """Worst severity per guarantee (``ok`` if nothing was found)."""
+        out = {name: OK for name in GUARANTEES}
+        for finding in self.findings:
+            current = out.get(finding.guarantee, OK)
+            if _SEVERITY_RANK[finding.severity] > _SEVERITY_RANK[current]:
+                out[finding.guarantee] = finding.severity
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """True when no guarantee is violated (warnings allowed)."""
+        return all(
+            severity != VIOLATION for severity in self.verdicts.values()
+        )
+
+    @property
+    def violations(self) -> list[HealthFinding]:
+        return [f for f in self.findings if f.severity == VIOLATION]
+
+    @property
+    def warnings(self) -> list[HealthFinding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "verdicts": self.verdicts,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def height_bound(
+    n_points: int,
+    min_data_occupancy: int,
+    min_index_occupancy: int,
+    slack: int = 1,
+) -> int:
+    """The maximum height guarantee 2 permits for ``n_points`` records.
+
+    ``ceil(log_m(pages))`` with ``pages = ceil(n / d_min)`` and
+    ``m = max(2, min_index_occupancy)``, plus ``slack``.  Zero or one
+    page needs no index at all, so the bound is just ``slack`` there.
+    """
+    if min_data_occupancy < 1 or min_index_occupancy < 0:
+        raise ReproError(
+            "occupancy minima must be positive, got "
+            f"data={min_data_occupancy} index={min_index_occupancy}"
+        )
+    if n_points <= 0:
+        return slack
+    pages = ceil(n_points / min_data_occupancy)
+    if pages <= 1:
+        return slack
+    m = max(2, min_index_occupancy)
+    return ceil(log(pages, m)) + slack
+
+
+#: Cap on offending page ids carried per finding (keeps JSON bounded).
+_MAX_PAGES_PER_FINDING = 16
+
+
+def evaluate(
+    monitor: GuaranteeMonitor,
+    thresholds: HealthThresholds | None = None,
+) -> HealthReport:
+    """Score the three guarantees from the monitor's current gauges.
+
+    Reads only the monitor (O(levels + pages-below-minimum), no tree
+    walk) plus the tree's policy and deferred-escape counters.  Call
+    :meth:`~repro.obs.monitor.GuaranteeMonitor.audit` first when the
+    verdict must be backed by a sweep-verified state.
+    """
+    thresholds = thresholds if thresholds is not None else HealthThresholds()
+    tree = monitor.tree
+    policy = tree.policy
+    findings: list[HealthFinding] = []
+
+    # ------------------------------------------------------------- 1 --
+    # Occupancy: every non-root node at or above the policy minimum.
+    deferred = (
+        tree.stats.deferred_splits + tree.stats.deferred_merges
+    )
+    escape = deferred > 0
+    for level in monitor.levels:
+        minimum = (
+            policy.min_data_occupancy()
+            if level == 0
+            else policy.min_index_occupancy()
+        )
+        observed = monitor.min_occupancy(level, exempt_root=True)
+        if observed is None:
+            # Only the root lives at this level; the guarantee is vacuous.
+            findings.append(
+                HealthFinding(
+                    guarantee="occupancy",
+                    severity=OK,
+                    message=f"level {level}: root only (exempt)",
+                    level=level,
+                    bound=minimum,
+                )
+            )
+            continue
+        if observed >= minimum:
+            findings.append(
+                HealthFinding(
+                    guarantee="occupancy",
+                    severity=OK,
+                    message=(
+                        f"level {level}: min occupancy {observed} >= "
+                        f"{minimum}"
+                    ),
+                    level=level,
+                    observed=observed,
+                    bound=minimum,
+                )
+            )
+            continue
+        offenders = _offending_pages(monitor, level, minimum)
+        if escape:
+            # The checker skips its occupancy invariant whenever the
+            # tree recorded a deferred split/merge; the doctor must not
+            # be stricter than the checker, so this demotes to warning.
+            findings.append(
+                HealthFinding(
+                    guarantee="occupancy",
+                    severity=WARNING,
+                    message=(
+                        f"level {level}: min occupancy {observed} < "
+                        f"{minimum}, but {deferred} deferred "
+                        f"split/merge escape(s) were recorded "
+                        f"(checker invariant 6 skips too)"
+                    ),
+                    level=level,
+                    pages=offenders,
+                    observed=observed,
+                    bound=minimum,
+                )
+            )
+        else:
+            findings.append(
+                HealthFinding(
+                    guarantee="occupancy",
+                    severity=VIOLATION,
+                    message=(
+                        f"level {level}: min occupancy {observed} < "
+                        f"{minimum} with no deferred escape recorded"
+                    ),
+                    level=level,
+                    pages=offenders,
+                    observed=observed,
+                    bound=minimum,
+                )
+            )
+
+    # ------------------------------------------------------------- 2 --
+    # Height: h <= ceil(log_m(ceil(n / d_min))) + slack.
+    bound = height_bound(
+        monitor.points,
+        policy.min_data_occupancy(),
+        policy.min_index_occupancy(),
+        slack=thresholds.height_slack,
+    )
+    height = monitor.height
+    findings.append(
+        HealthFinding(
+            guarantee="height",
+            severity=OK if height <= bound else VIOLATION,
+            message=(
+                f"height {height} {'<=' if height <= bound else '>'} "
+                f"bound {bound} for {monitor.points} points"
+            ),
+            observed=height,
+            bound=bound,
+        )
+    )
+
+    # ------------------------------------------------------------- 3 --
+    # No cascade: split chain per operation bounded by the root path.
+    chain_bound = (
+        thresholds.max_split_chain
+        if thresholds.max_split_chain is not None
+        else monitor.max_height_seen + 1
+    )
+    chain = monitor.max_splits_per_op
+    findings.append(
+        HealthFinding(
+            guarantee="no_cascade",
+            severity=OK if chain <= chain_bound else VIOLATION,
+            message=(
+                f"max splits per operation {chain} "
+                f"{'<=' if chain <= chain_bound else '>'} {chain_bound} "
+                f"(one per level of the root path)"
+            ),
+            observed=chain,
+            bound=chain_bound,
+        )
+    )
+    return HealthReport(findings=findings)
+
+
+def _offending_pages(
+    monitor: GuaranteeMonitor, level: int, minimum: int
+) -> tuple[int, ...]:
+    """Page ids below ``minimum`` at ``level`` (root excluded, capped)."""
+    return monitor.pages_below(level, minimum, limit=_MAX_PAGES_PER_FINDING)

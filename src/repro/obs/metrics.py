@@ -44,6 +44,7 @@ __all__ = [
     "MetricsSink",
     "NODES_VISITED_BUCKETS",
     "SPLIT_FANOUT_BUCKETS",
+    "TimeSeriesSink",
 ]
 
 #: Default buckets for per-descent page/guard counts: trees in this repo
@@ -78,13 +79,20 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value; the last :meth:`set` wins."""
+    """A point-in-time value; the last :meth:`set` wins.
+
+    Empty-state contract: before the first :meth:`set`, ``value`` is
+    ``None`` and :meth:`to_dict` carries ``"value": None`` — a gauge
+    that was never written is distinguishable from one legitimately at
+    0.0 (a hit ratio of zero and an unsampled hit ratio are different
+    facts, and the doctor must not conflate them).
+    """
 
     __slots__ = ("name", "value")
 
     def __init__(self, name: str):
         self.name = name
-        self.value: float = 0.0
+        self.value: float | None = None
 
     def set(self, value: float) -> None:
         """Record the current value."""
@@ -126,9 +134,39 @@ class Histogram:
         self.total += value
 
     @property
-    def mean(self) -> float:
-        """Average observation (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> float | None:
+        """Average observation; ``None`` when empty.
+
+        Empty-state contract: an empty histogram has no mean — returning
+        a made-up 0.0 would read as "observed values averaging zero".
+        Callers rendering a snapshot print ``None`` as absent.
+        """
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """The upper bound of the bucket holding the ``q``-quantile.
+
+        ``q`` must be in ``[0, 1]``.  Returns ``None`` when the
+        histogram is empty, and ``None`` when the quantile falls in the
+        overflow bucket (the histogram has no upper bound there — the
+        caller knows only "above the last bound").  The answer is the
+        bucket's inclusive upper bound, i.e. conservative to one bucket
+        width, which is the best a fixed-bucket histogram can say.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(
+                f"quantile must be in [0, 1], got {q} "
+                f"(histogram {self.name!r})"
+            )
+        if not self.count:
+            return None
+        rank = max(1, -(-self.count * q // 1))  # ceil(count * q), min 1
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return float(bound)
+        return None  # the quantile lies in the overflow bucket
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -188,6 +226,10 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         """Registered metric names, sorted."""
         return sorted(self._instruments)
+
+    def get(self, name: str) -> Any:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
 
     def snapshot(self) -> dict[str, Any]:
         """Every instrument's current state, keyed by name (JSON-ready)."""
@@ -307,3 +349,123 @@ class MetricsSink:
                 ],
             }
         return out
+
+
+class TimeSeriesSink:
+    """Samples a :class:`MetricsRegistry` every N operations, columnar.
+
+    The record is *columnar* — one list per metric plus one shared list
+    of operation counts — rather than a dict per sample, so a whole
+    100k-operation workload's health trajectory serialises to a compact
+    JSON artifact (``len(metrics) + 1`` lists, not 100k/N dicts).
+
+    Sampling is driven either by feeding the sink a trace stream (it
+    counts ``op_end`` events; attach it as a tracer tap) or by calling
+    :meth:`tick` per operation from a driver loop.  Each instrument
+    contributes scalar columns: a counter or gauge its ``value``, a
+    histogram its ``count`` and ``mean`` (as ``<name>.count`` /
+    ``<name>.mean``).  A metric that first appears mid-run is backfilled
+    with ``None`` for the samples it missed, and a gauge never set reads
+    ``None`` — columns always share the length of ``ops``.
+
+    ``prepare``, if given, is called with the registry immediately
+    before each sample — the hook the guarantee monitor uses to publish
+    its incremental gauges so the sampled registry is current.
+
+    When the retained sample count would exceed ``max_samples`` the sink
+    *compacts*: it drops every other sample and doubles the sampling
+    stride, preserving the full time range at half resolution — a
+    bounded artifact regardless of workload length.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        every: int = 100,
+        max_samples: int = 512,
+        prepare: Any = None,
+    ):
+        if every <= 0:
+            raise ReproError(f"every must be positive, got {every}")
+        if max_samples < 2:
+            raise ReproError(
+                f"max_samples must be at least 2, got {max_samples}"
+            )
+        self.registry = registry
+        self.every = every
+        self.max_samples = max_samples
+        self.prepare = prepare
+        #: Cumulative operation count at each sample.
+        self.ops: list[int] = []
+        #: One equal-length column per scalar metric.
+        self.columns: dict[str, list[float | None]] = {}
+        self._op_count = 0
+        self._since_sample = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Count operation ends from a trace stream (tap usage)."""
+        if event.kind == OP_END:
+            self.tick()
+
+    def close(self) -> None:
+        """Nothing to release (the samples stay readable)."""
+
+    def tick(self) -> None:
+        """Advance one operation; sample when the stride elapses."""
+        self._op_count += 1
+        self._since_sample += 1
+        if self._since_sample >= self.every:
+            self._since_sample = 0
+            self.sample()
+
+    def sample(self) -> None:
+        """Take one sample of the registry right now."""
+        if self.prepare is not None:
+            self.prepare(self.registry)
+        scalars = self._scalars()
+        n_prior = len(self.ops)
+        self.ops.append(self._op_count)
+        for name, value in scalars.items():
+            column = self.columns.get(name)
+            if column is None:
+                # Late-appearing metric: backfill the samples it missed.
+                column = [None] * n_prior
+                self.columns[name] = column
+            column.append(value)
+        for name, column in self.columns.items():
+            if len(column) <= n_prior:
+                column.append(None)
+        if len(self.ops) > self.max_samples:
+            self._compact()
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready columnar record."""
+        return {
+            "type": "timeseries",
+            "every": self.every,
+            "ops": list(self.ops),
+            "metrics": {
+                name: list(column)
+                for name, column in sorted(self.columns.items())
+            },
+        }
+
+    def _scalars(self) -> dict[str, float | None]:
+        out: dict[str, float | None] = {}
+        for name in self.registry.names():
+            instrument = self.registry.get(name)
+            if isinstance(instrument, Histogram):
+                out[f"{name}.count"] = instrument.count
+                out[f"{name}.mean"] = instrument.mean
+            else:
+                out[name] = instrument.value
+        return out
+
+    def _compact(self) -> None:
+        # Keep every second sample, newest included, and double the
+        # stride so future samples land at the new resolution.
+        keep = slice((len(self.ops) - 1) % 2, None, 2)
+        self.ops = self.ops[keep]
+        for name, column in self.columns.items():
+            self.columns[name] = column[keep]
+        self.every *= 2

@@ -20,6 +20,22 @@ the ``with`` block with that id, so a trace can be cut back into
 per-operation slices (which is how the EXPLAIN reports and the metrics
 aggregator reconstruct per-descent figures).  When disabled it returns a
 shared no-op context manager, not a fresh object.
+
+Structural taps
+---------------
+Besides the full-stream sink, a tracer carries *taps*: sinks that want
+only the cheap structural slice of the stream (splits, merges,
+promotions, page lifecycle) without paying for full capture.  Call sites
+on the *update* paths guard with ``tracer.structural`` instead of
+``tracer.enabled``; read-path sites (descents, query traversals, page
+reads) keep guarding on ``enabled``.  ``structural`` is true whenever
+``enabled`` is — a full capture always sees the structural events — and
+additionally while at least one tap is attached, so a
+:class:`~repro.obs.monitor.GuaranteeMonitor` can watch a tree's
+structure while exact-match reads still cost exactly one disabled-branch
+check (the perf probe holds the monitored read path within 3% of the
+uninstrumented one).  Taps receive every event that is emitted, in
+stream order, alongside (not instead of) the sink.
 """
 
 from __future__ import annotations
@@ -84,13 +100,16 @@ class Tracer:
     :meth:`attach` installs a sink and enables emission; :meth:`enable`
     and :meth:`disable` toggle emission without touching the sink, so a
     capture can be paused around work that should not appear in it.
+    :meth:`add_tap` additionally subscribes a sink to the structural
+    slice of the stream (see the module docstring) without enabling full
+    capture.
 
     One tracer is typically *shared*: a tree and its storage backend
     emit into the same instance, so page-level and structure-level
     events interleave in one totally ordered stream (``seq``).
     """
 
-    __slots__ = ("sink", "enabled", "current_op", "_seq", "_ops")
+    __slots__ = ("sink", "enabled", "structural", "current_op", "_seq", "_ops", "_taps")
 
     def __init__(self, sink: TraceSink | None = None, enabled: bool | None = None):
         self.sink: TraceSink = sink if sink is not None else NullSink()
@@ -100,10 +119,15 @@ class Tracer:
             if enabled is not None
             else not isinstance(self.sink, NullSink)
         )
+        #: Checked by the structural (update-path) emission sites:
+        #: ``enabled or taps attached``.  Never written directly — it is
+        #: derived state kept in sync by the configuration methods.
+        self.structural: bool = self.enabled
         #: The operation span id events are stamped with (0 = no span).
         self.current_op = 0
         self._seq = 0
         self._ops = 0
+        self._taps: tuple[TraceSink, ...] = ()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -113,48 +137,84 @@ class Tracer:
         """Install ``sink`` and enable emission."""
         self.sink = sink
         self.enabled = not isinstance(sink, NullSink)
+        self.structural = self.enabled or bool(self._taps)
 
     def detach(self) -> TraceSink:
         """Disable emission and return the sink (callers may close it)."""
         sink = self.sink
         self.sink = NullSink()
         self.enabled = False
+        self.structural = bool(self._taps)
         return sink
 
     def enable(self) -> None:
         """Resume emission to the current sink (no-op for a NullSink)."""
         self.enabled = not isinstance(self.sink, NullSink)
+        self.structural = self.enabled or bool(self._taps)
 
     def disable(self) -> None:
-        """Pause emission; the sink keeps whatever it already received."""
+        """Pause emission; the sink keeps whatever it already received.
+
+        Taps are paused too: ``disable`` silences the tracer entirely,
+        exactly as it did before taps existed.
+        """
         self.enabled = False
+        self.structural = False
+
+    def add_tap(self, tap: TraceSink) -> None:
+        """Subscribe ``tap`` to the emitted stream (idempotent).
+
+        Attaching a tap raises ``structural`` so the update-path sites
+        start emitting; the read-path sites keep consulting ``enabled``
+        and stay silent unless a full sink is attached too.
+        """
+        if tap not in self._taps:
+            self._taps = self._taps + (tap,)
+        self.structural = True
+
+    def remove_tap(self, tap: TraceSink) -> None:
+        """Unsubscribe ``tap`` (a no-op if it was never added)."""
+        self._taps = tuple(t for t in self._taps if t is not tap)
+        self.structural = self.enabled or bool(self._taps)
+
+    @property
+    def taps(self) -> tuple[TraceSink, ...]:
+        """The currently attached taps, in attachment order."""
+        return self._taps
 
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
 
     def emit(self, kind: str, **fields: Any) -> None:
-        """Emit one event (dropped silently when disabled).
+        """Emit one event (dropped silently when fully disabled).
 
-        Hot paths must guard the call with ``if tracer.enabled:`` so the
+        Hot paths must guard the call with ``if tracer.enabled:`` (read
+        paths) or ``if tracer.structural:`` (update paths) so the
         keyword dict is never built on the disabled path; this check is
         the safety net for cold paths, not the fast path.
         """
-        if not self.enabled:
+        if not self.structural:
             return
         self._seq += 1
-        self.sink.emit(TraceEvent(self._seq, self.current_op, kind, fields))
+        event = TraceEvent(self._seq, self.current_op, kind, fields)
+        if self.enabled:
+            self.sink.emit(event)
+        for tap in self._taps:
+            tap.emit(event)
 
     def operation(self, name: str, **fields: Any) -> Any:
         """A context manager spanning one logical operation.
 
-        Returns a shared no-op span when disabled, so wrapping an
+        Returns a shared no-op span when fully disabled, so wrapping an
         operation costs one call and one branch on the untraced path.
         Entering the real span emits ``op_begin`` (with ``fields``),
         leaving it emits ``op_end`` (with the exception name, if one is
-        propagating); events inside carry the span's op id.
+        propagating); events inside carry the span's op id.  A tracer
+        with only taps attached opens real spans too — the structural
+        consumers group split work per operation through them.
         """
-        if not self.enabled:
+        if not self.structural:
             return _NULL_SPAN
         return _Span(self, name, fields)
 

@@ -34,7 +34,12 @@ from repro.perf.results import (
     compare,
     default_path,
 )
-from repro.perf.runner import derive_metrics, render_text, run_suite
+from repro.perf.runner import (
+    derive_metrics,
+    health_regressions,
+    render_text,
+    run_suite,
+)
 from repro.perf.timer import Timing, measure
 from repro.perf import scenarios as scenarios  # registers the core suite
 
@@ -50,6 +55,7 @@ __all__ = [
     "compare",
     "default_path",
     "derive_metrics",
+    "health_regressions",
     "measure",
     "render_text",
     "resolve_scale",

@@ -27,12 +27,19 @@ from typing import Any
 
 from repro.core.tree import BVTree
 from repro.geometry.space import DataSpace
-from repro.obs import MetricsSink, RingSink
+from repro.obs import (
+    GuaranteeMonitor,
+    MetricsRegistry,
+    MetricsSink,
+    RingSink,
+    TimeSeriesSink,
+    run_doctor,
+)
 from repro.perf.registry import Scale
 from repro.storage import BufferPool, PageStore
-from repro.workloads import uniform
+from repro.workloads import churn, nested_hotspot, uniform
 
-__all__ = ["observability_snapshot"]
+__all__ = ["health_snapshot", "observability_snapshot"]
 
 #: Record-count cap for the probe workload.
 PROBE_POINTS = 2000
@@ -114,4 +121,115 @@ def observability_snapshot(scale: Scale) -> dict[str, Any]:
         "probe_points": min(scale.n_points, PROBE_POINTS),
         "metrics": _traced_metrics(scale),
         "overhead": _overhead(scale),
+    }
+
+
+#: Deletion fraction of the health probe's churn stream.
+HEALTH_CHURN = 0.2
+#: Retained samples in the health block's time series (keeps the
+#: committed BENCH file compact; the stride auto-doubles past this).
+HEALTH_SERIES_SAMPLES = 128
+
+
+def _monitor_overhead(scale: Scale) -> dict[str, Any]:
+    """Exact-match cost with and without the monitor + time series.
+
+    The acceptance gate: a guarantee monitor (a structural tracer tap)
+    plus a sampling :class:`~repro.obs.TimeSeriesSink` must hold the
+    read path within 3% of the uninstrumented loop.  Reads emit nothing
+    under a tap — the guarded sites check ``tracer.enabled`` — so the
+    measured cost is the two boolean attribute checks per get.
+    """
+    tree, points = _probe_tree(scale)
+    tree.bulk_load([(p, i) for i, p in enumerate(points)], replace=True)
+    probes = points[:PROBE_LOOKUPS]
+    get = tree.get
+
+    def timed() -> float:
+        best = float("inf")
+        for _ in range(PROBE_REPEATS):
+            start = time.perf_counter()
+            for point in probes:
+                get(point)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    bare = timed()
+    monitor = GuaranteeMonitor(tree).attach()
+    registry = MetricsRegistry()
+    series = TimeSeriesSink(registry, every=64, prepare=monitor.publish)
+    tree.tracer.add_tap(series)
+    monitored = timed()
+    tree.tracer.remove_tap(series)
+    monitor.detach()
+    return {
+        "lookups": len(probes),
+        "uninstrumented_us_per_op": bare / len(probes) * 1e6,
+        "monitored_us_per_op": monitored / len(probes) * 1e6,
+        "monitor_overhead_ratio": monitored / bare if bare > 0 else None,
+    }
+
+
+def health_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``health`` block of a ``BENCH_<suite>.json`` snapshot.
+
+    Runs the doctor over an adversarial churn workload at the *full*
+    scale population (nested hotspot inserts with ``HEALTH_CHURN``
+    interleaved deletions — the distribution the paper's guarantees are
+    hardest on), audits the incremental gauges against the sweep, and
+    measures the monitor's read-path overhead.  ``ok`` requires all
+    three guarantee verdicts to pass *and* a clean audit, which is what
+    ``repro perf --baseline`` and ``repro doctor --bench`` gate on.
+    """
+    space = DataSpace.unit(scale.dims, resolution=scale.resolution)
+    tree = BVTree(
+        space, data_capacity=scale.data_capacity, fanout=scale.fanout
+    )
+    # Churn tracks live points by float tuple, the tree by the leading
+    # resolution bits: dense hotspot populations collide in those bits
+    # (replace=True folds them into one record), so path-deduplicate
+    # first or a later delete would target an already-replaced record.
+    seen: set[Any] = set()
+    points = []
+    for point in nested_hotspot(scale.n_points, scale.dims, seed=scale.seed):
+        path = space.point_path(point)
+        if path not in seen:
+            seen.add(path)
+            points.append(point)
+    operations = churn(
+        points,
+        delete_fraction=HEALTH_CHURN,
+        seed=scale.seed,
+    )
+    result = run_doctor(
+        tree,
+        operations,
+        sample_every=max(64, scale.n_points // HEALTH_SERIES_SAMPLES),
+        max_samples=HEALTH_SERIES_SAMPLES,
+        workload="nested_hotspot+churn",
+    )
+    state = result.monitor_state
+    return {
+        "workload": result.workload,
+        "n_points": result.n_points,
+        "ops_applied": result.ops_applied,
+        "ok": result.exit_code == 0,
+        "audit_clean": result.audit.clean,
+        "audit_drift": result.audit.drift,
+        "verdicts": result.health.verdicts,
+        "findings": [
+            f.to_dict()
+            for f in result.health.findings
+            if f.severity != "ok"
+        ],
+        "monitor": {
+            "height": state["height"],
+            "max_height_seen": state["max_height_seen"],
+            "max_splits_per_op": state["max_splits_per_op"],
+            "pages_by_level": state["pages_by_level"],
+            "guards_by_level": state["guards_by_level"],
+            "event_counts": state["event_counts"],
+        },
+        "overhead": _monitor_overhead(scale),
+        "timeseries": result.timeseries,
     }

@@ -95,6 +95,11 @@ class SuiteResult:
     #: observability probe (:mod:`repro.perf.obsprobe`).  Additive field:
     #: absent in pre-probe snapshots, so the schema version is unchanged.
     observability: dict[str, Any] = field(default_factory=dict)
+    #: Guarantee-monitor verdicts, audit result, monitor overhead and the
+    #: columnar health time series from the doctor probe
+    #: (:func:`repro.perf.obsprobe.health_snapshot`).  Additive like
+    #: ``observability``: absent in older snapshots, schema unchanged.
+    health: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -112,6 +117,7 @@ class SuiteResult:
             "results": [result.to_dict() for result in self.results],
             "derived": self.derived,
             "observability": self.observability,
+            "health": self.health,
         }
 
     def to_json(self) -> str:
@@ -138,6 +144,7 @@ class SuiteResult:
             results=[BenchResult.from_dict(r) for r in data["results"]],
             derived=dict(data.get("derived", {})),
             observability=dict(data.get("observability", {})),
+            health=dict(data.get("health", {})),
         )
 
     @classmethod

@@ -20,12 +20,17 @@ from typing import Any, Callable
 from repro.errors import ReproError
 from repro.bench.reporting import format_table
 from repro.perf import scenarios
-from repro.perf.obsprobe import observability_snapshot
+from repro.perf.obsprobe import health_snapshot, observability_snapshot
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult, SuiteResult, compare
 from repro.perf.timer import measure
 
-__all__ = ["derive_metrics", "render_text", "run_suite"]
+__all__ = [
+    "derive_metrics",
+    "health_regressions",
+    "render_text",
+    "run_suite",
+]
 
 
 def run_suite(
@@ -82,10 +87,14 @@ def run_suite(
             )
         )
     obs: dict[str, Any] = {}
+    health: dict[str, Any] = {}
     if observability:
         if progress is not None:
             progress("observability probe")
         obs = observability_snapshot(scale)
+        if progress is not None:
+            progress("health probe (guarantee doctor)")
+        health = health_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -94,6 +103,7 @@ def run_suite(
         results=results,
         derived=derive_metrics(results),
         observability=obs,
+        health=health,
     )
 
 
@@ -156,6 +166,8 @@ def render_text(
         blocks.append(format_table(["derived metric", "value"], derived_rows))
     if result.observability:
         blocks.append(_render_observability(result.observability))
+    if result.health:
+        blocks.append(_render_health(result.health))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -174,7 +186,82 @@ def render_text(
             cmp_rows,
             title=f"vs baseline from {baseline.created}",
         ))
+        regressions = health_regressions(baseline, result)
+        if regressions:
+            blocks.append(
+                "guarantee REGRESSIONS vs baseline:\n"
+                + "\n".join(f"  {line}" for line in regressions)
+            )
+        elif baseline.health and result.health:
+            blocks.append("guarantees: no regressions vs baseline")
     return "\n\n".join(blocks)
+
+
+#: Severity order for regression detection (worse = higher).
+_SEVERITY_RANK = {"ok": 0, "warning": 1, "violation": 2}
+
+
+def health_regressions(
+    baseline: SuiteResult, current: SuiteResult
+) -> list[str]:
+    """Guarantee verdicts that got *worse* since the baseline snapshot.
+
+    Compares the ``health`` blocks: a guarantee whose verdict rank
+    increased (ok → warning, warning → violation, ...), an audit that
+    went from clean to drifting, or a monitor overhead ratio newly above
+    1.03 each produce one line.  Snapshots without a health block (older
+    schema) compare as no-regression — the block is additive.
+    """
+    base, cur = baseline.health, current.health
+    if not base or not cur:
+        return []
+    out: list[str] = []
+    base_verdicts = base.get("verdicts", {})
+    for name, verdict in cur.get("verdicts", {}).items():
+        was = base_verdicts.get(name, "ok")
+        if _SEVERITY_RANK.get(verdict, 0) > _SEVERITY_RANK.get(was, 0):
+            out.append(f"{name}: {was} -> {verdict}")
+    if base.get("audit_clean", True) and not cur.get("audit_clean", True):
+        out.append("audit: clean -> drift (incremental gauges diverged)")
+    base_ratio = (base.get("overhead") or {}).get("monitor_overhead_ratio")
+    cur_ratio = (cur.get("overhead") or {}).get("monitor_overhead_ratio")
+    if (
+        cur_ratio is not None
+        and cur_ratio > 1.03
+        and (base_ratio is None or base_ratio <= 1.03)
+    ):
+        out.append(
+            f"monitor overhead: {cur_ratio:.3f}x exceeds the 3% budget"
+        )
+    return out
+
+
+def _render_health(health: dict[str, Any]) -> str:
+    """The guarantee-doctor block of the text report."""
+    rows: list[list[Any]] = []
+    for name, verdict in health.get("verdicts", {}).items():
+        rows.append([f"guarantee: {name}", verdict.upper()])
+    rows.append([
+        "audit (incremental vs sweep)",
+        "clean" if health.get("audit_clean") else "DRIFT",
+    ])
+    monitor = health.get("monitor", {})
+    if monitor:
+        rows.append(["height", monitor.get("height")])
+        rows.append(["max splits per op", monitor.get("max_splits_per_op")])
+    overhead = health.get("overhead", {})
+    ratio = overhead.get("monitor_overhead_ratio")
+    if ratio is not None:
+        rows.append(["monitor overhead", f"{ratio:.3f}x"])
+    return format_table(
+        ["health probe", "value"],
+        rows,
+        title=(
+            f"guarantee doctor ({health.get('workload')}, "
+            f"n={health.get('n_points')}, "
+            f"{health.get('ops_applied')} ops)"
+        ),
+    )
 
 
 def _render_observability(obs: dict[str, Any]) -> str:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.errors import PageNotFoundError, StorageError
-from repro.obs.events import PAGE_READ, PAGE_WRITE
+from repro.obs.events import PAGE_ALLOC, PAGE_FREE, PAGE_READ, PAGE_WRITE
 from repro.obs.tracer import Tracer
 from repro.storage.stats import IOStats, SizeClassStats
 
@@ -23,7 +23,12 @@ class PageStore:
     event through ``self.tracer`` when tracing is enabled — one event per
     counted I/O, so a trace's page counts always equal :class:`IOStats`
     (a tree attaches its own tracer here; see
-    :class:`~repro.core.tree.BVTree`).
+    :class:`~repro.core.tree.BVTree`).  The *mutating* accesses
+    (``allocate``/``write``/``free``) are the choke point every tree
+    structure change flows through, so they emit under the wider
+    ``tracer.structural`` guard — a structural tap (e.g. the guarantee
+    monitor) sees every mutation even when full tracing is off, while
+    reads stay silent unless tracing is fully enabled.
     """
 
     def __init__(self, page_bytes: int = 4096):
@@ -83,6 +88,9 @@ class PageStore:
         cls.total_allocated += 1
         cls.peak_pages = max(cls.peak_pages, cls.live_pages)
         self.stats.allocations += 1
+        tracer = self.tracer
+        if tracer.structural:
+            tracer.emit(PAGE_ALLOC, page=page_id, size_class=size_class)
         return page_id
 
     def read(self, page_id: int) -> Any:
@@ -111,7 +119,7 @@ class PageStore:
         self._pages[page_id] = content
         self.stats.writes += 1
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.structural:
             tracer.emit(PAGE_WRITE, page=page_id)
 
     def free(self, page_id: int) -> None:
@@ -122,6 +130,9 @@ class PageStore:
         size_class = self._size_class.pop(page_id)
         self._classes[size_class].live_pages -= 1
         self.stats.frees += 1
+        tracer = self.tracer
+        if tracer.structural:
+            tracer.emit(PAGE_FREE, page=page_id)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -23,11 +23,14 @@ from repro.workloads.adversarial import (
     promotion_storm,
     sequential_1d,
 )
+from repro.workloads.churn import churn, grow_shrink
 
 __all__ = [
+    "churn",
     "clustered",
     "diagonal",
     "grid",
+    "grow_shrink",
     "nested_hotspot",
     "promotion_storm",
     "sequential_1d",

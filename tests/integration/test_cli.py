@@ -187,3 +187,78 @@ class TestTrace:
         events = read_jsonl(path)
         assert events
         assert {e.kind for e in events} >= {"op_begin", "op_end", "page_read"}
+
+
+DOCTOR_TINY = [
+    "doctor",
+    "--n", "1500",
+    "--data-capacity", "8",
+    "--fanout", "8",
+]
+
+
+class TestDoctor:
+    def test_healthy_workload_passes_all_guarantees(self, capsys):
+        assert main(DOCTOR_TINY) == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out
+        assert "height" in out
+        assert "no_cascade" in out
+        assert "PASS" in out
+        assert "audit" in out
+
+    def test_churn_workload_with_json_format(self, capsys):
+        assert main(
+            DOCTOR_TINY + ["--churn", "0.3", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["audit"]["clean"] is True
+        assert data["health"]["ok"] is True
+        assert set(data["health"]["verdicts"]) == {
+            "occupancy", "height", "no_cascade",
+        }
+        assert data["exit_code"] == 0
+
+    def test_series_out_writes_columnar_artifact(self, capsys, tmp_path):
+        path = tmp_path / "series.json"
+        assert main(
+            DOCTOR_TINY + ["--every", "100", "--series-out", str(path)]
+        ) == 0
+        record = json.loads(path.read_text())
+        series = record["timeseries"]
+        assert series["type"] == "timeseries"
+        assert series["ops"]
+        columns = series["metrics"]
+        assert "monitor.points" in columns
+        assert all(
+            len(col) == len(series["ops"]) for col in columns.values()
+        )
+
+    def test_bench_mode_reads_health_block(self, capsys, tmp_path):
+        snapshot = tmp_path / "BENCH_test.json"
+        snapshot.write_text(json.dumps({
+            "health": {
+                "ok": True,
+                "verdicts": {
+                    "occupancy": "ok",
+                    "height": "ok",
+                    "no_cascade": "ok",
+                },
+            },
+        }))
+        assert main(["doctor", "--bench", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "[OK] occupancy" in out
+
+    def test_bench_mode_fails_on_unhealthy_block(self, capsys, tmp_path):
+        snapshot = tmp_path / "BENCH_test.json"
+        snapshot.write_text(json.dumps({
+            "health": {"ok": False, "verdicts": {"height": "violation"}},
+        }))
+        assert main(["doctor", "--bench", str(snapshot)]) == 1
+
+    def test_bench_mode_without_health_block_exits_2(self, capsys, tmp_path):
+        snapshot = tmp_path / "BENCH_test.json"
+        snapshot.write_text(json.dumps({"results": []}))
+        assert main(["doctor", "--bench", str(snapshot)]) == 2
+        assert "no health block" in capsys.readouterr().err

@@ -491,3 +491,64 @@ class TestR10CorePrintBan:
             """,
         )
         assert codes(findings) == ["R10"]
+
+
+class TestR11CoreMetricsBan:
+    def test_flags_metrics_import_in_core(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from repro.obs.metrics import MetricsRegistry
+
+            def account(tree):
+                return MetricsRegistry()
+            """,
+        )
+        assert "R11" in codes(findings)
+
+    def test_flags_instrument_mutation_through_tainted_name(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from repro.obs import Gauge
+
+            def publish(tree):
+                Gauge.set(tree.gauge, 1.0)
+            """,
+        )
+        assert codes(findings).count("R11") == 2  # import + mutation
+
+    def test_tracer_import_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from repro.obs.tracer import Tracer
+
+            def wire(tree):
+                tree.tracer = Tracer()
+            """,
+        )
+        assert "R11" not in codes(findings)
+
+    def test_unrelated_set_call_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def remember(registry, key):
+                registry.set(key, 1)
+                registry.observe(key)
+            """,
+        )
+        assert "R11" not in codes(findings)
+
+    def test_obs_layer_itself_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/obs/mod.py",
+            """
+            from repro.obs.metrics import MetricsRegistry
+
+            def build():
+                return MetricsRegistry()
+            """,
+        )
+        assert "R11" not in codes(findings)

@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSink,
     NODES_VISITED_BUCKETS,
+    TimeSeriesSink,
 )
 
 
@@ -42,6 +43,14 @@ class TestGauge:
         gauge.set(0.75)
         assert gauge.to_dict() == {"type": "gauge", "value": 0.75}
 
+    def test_unset_gauge_reads_none(self):
+        """Empty-state contract: never-set is distinguishable from 0.0."""
+        gauge = Gauge("ratio")
+        assert gauge.value is None
+        assert gauge.to_dict() == {"type": "gauge", "value": None}
+        gauge.set(0.0)
+        assert gauge.value == 0.0
+
 
 class TestHistogram:
     def test_buckets_inclusive_upper_bounds(self):
@@ -54,8 +63,32 @@ class TestHistogram:
         assert hist.total == 17.0
         assert hist.mean == pytest.approx(3.4)
 
-    def test_empty_mean_is_zero(self):
-        assert Histogram("h", buckets=(1,)).mean == 0.0
+    def test_empty_mean_is_none(self):
+        """Empty-state contract: no observations means no mean."""
+        hist = Histogram("h", buckets=(1,))
+        assert hist.mean is None
+        assert hist.to_dict()["mean"] is None
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram("h", buckets=(1, 2)).quantile(0.5) is None
+
+    def test_quantile_bucket_upper_bounds(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        for value in (1, 1, 2, 3):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 1.0  # rank clamps to 1
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(0.75) == 2.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_bucket_is_none(self):
+        hist = Histogram("h", buckets=(1,))
+        hist.observe(99)
+        assert hist.quantile(1.0) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ReproError, match="quantile"):
+            Histogram("h", buckets=(1,)).quantile(1.5)
 
     def test_rejects_empty_buckets(self):
         with pytest.raises(ReproError, match="at least one bucket"):
@@ -187,3 +220,94 @@ class TestMetricsSink:
         for i in range(MetricsSink.MAX_SAMPLES + 10):
             sink.emit(TraceEvent(i + 1, 0, PAGE_READ, {"physical": False}))
         assert len(sink.hit_ratio_series) == MetricsSink.MAX_SAMPLES
+
+
+class TestTimeSeriesSink:
+    def test_rejects_bad_parameters(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError, match="every"):
+            TimeSeriesSink(registry, every=0)
+        with pytest.raises(ReproError, match="max_samples"):
+            TimeSeriesSink(registry, every=1, max_samples=1)
+
+    def test_columnar_shape_shares_ops_length(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        series = TimeSeriesSink(registry, every=2)
+        for i in range(6):
+            gauge.set(float(i))
+            series.tick()
+        assert series.ops == [2, 4, 6]
+        assert series.columns["g"] == [1.0, 3.0, 5.0]
+
+    def test_op_end_events_drive_sampling(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        series = TimeSeriesSink(registry, every=1)
+        for i, kind in enumerate([OP_BEGIN, OP_END, PAGE_READ, OP_END]):
+            series.emit(TraceEvent(seq=i, op=1, kind=kind, fields={}))
+        assert series.ops == [1, 2]  # only op_end ticks
+
+    def test_late_metric_backfills_none_both_ways(self):
+        registry = MetricsRegistry()
+        early = registry.gauge("early")
+        early.set(1.0)
+        series = TimeSeriesSink(registry, every=1)
+        series.tick()
+        late = registry.gauge("late")
+        late.set(2.0)
+        series.tick()
+        assert series.columns["early"] == [1.0, 1.0]
+        assert series.columns["late"] == [None, 2.0]
+
+    def test_histogram_contributes_count_and_mean_columns(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(4, 8))
+        series = TimeSeriesSink(registry, every=1)
+        series.tick()  # empty histogram: count 0, mean None
+        hist.observe(3)
+        hist.observe(5)
+        series.tick()
+        assert series.columns["h.count"] == [0, 2]
+        assert series.columns["h.mean"] == [None, 4.0]
+
+    def test_prepare_runs_before_each_sample(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def prepare(reg):
+            calls.append(reg)
+            reg.gauge("fresh").set(len(calls))
+
+        series = TimeSeriesSink(registry, every=1, prepare=prepare)
+        series.tick()
+        series.tick()
+        assert calls == [registry, registry]
+        assert series.columns["fresh"] == [1, 2]
+
+    def test_compaction_halves_samples_and_doubles_stride(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        series = TimeSeriesSink(registry, every=1, max_samples=4)
+        for _ in range(5):
+            counter.inc()
+            series.tick()
+        # Fifth sample trips compaction: every other sample kept
+        # (newest included), stride doubled.
+        assert series.every == 2
+        assert len(series.ops) <= 4
+        assert series.ops[-1] == 5
+        # The counter bumps once per tick, so its column tracks ops.
+        assert series.columns["c"] == series.ops
+        assert all(len(col) == len(series.ops) for col in series.columns.values())
+
+    def test_to_dict_round_trip_shape(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(7.0)
+        series = TimeSeriesSink(registry, every=1)
+        series.tick()
+        data = series.to_dict()
+        assert data["type"] == "timeseries"
+        assert data["every"] == 1
+        assert data["ops"] == [1]
+        assert data["metrics"] == {"g": [7.0]}

@@ -5,7 +5,12 @@ import pytest
 from repro.errors import ReproError
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult
-from repro.perf.runner import derive_metrics, render_text, run_suite
+from repro.perf.runner import (
+    derive_metrics,
+    health_regressions,
+    render_text,
+    run_suite,
+)
 
 #: Small enough to run in well under a second, large enough to split.
 TINY = Scale(
@@ -57,7 +62,11 @@ class TestRunSuite:
     def test_progress_callback(self):
         seen = []
         run_suite(TINY, only=["exact_match"], progress=seen.append)
-        assert seen == ["exact_match", "observability probe"]
+        assert seen == [
+            "exact_match",
+            "observability probe",
+            "health probe (guarantee doctor)",
+        ]
 
     def test_progress_without_observability(self):
         seen = []
@@ -128,3 +137,72 @@ class TestRenderText:
         assert "observability probe" in text
         assert "tracer disabled (null sink)" in text
         assert "buffer.hit_ratio" in text
+
+
+def _with_health(result, **overrides):
+    """A shallow copy of a SuiteResult with its health block overridden."""
+    import copy
+
+    clone = copy.copy(result)
+    clone.health = copy.deepcopy(result.health)
+    clone.health.update(overrides)
+    return clone
+
+
+class TestHealthBlock:
+    def test_suite_result_carries_health(self, suite_result):
+        health = suite_result.health
+        assert health["ok"] is True
+        assert health["audit_clean"] is True
+        assert health["verdicts"] == {
+            "occupancy": "ok",
+            "height": "ok",
+            "no_cascade": "ok",
+        }
+        assert health["ops_applied"] >= health["n_points"]
+        assert health["overhead"]["monitor_overhead_ratio"] > 0
+        assert health["timeseries"]["ops"]
+
+    def test_render_includes_doctor_block(self, suite_result):
+        text = render_text(suite_result)
+        assert "guarantee doctor" in text
+        assert "guarantee: occupancy" in text
+        assert "audit (incremental vs sweep)" in text
+
+    def test_no_regression_against_self(self, suite_result):
+        assert health_regressions(suite_result, suite_result) == []
+        text = render_text(suite_result, baseline=suite_result)
+        assert "no regressions" in text
+
+    def test_verdict_downgrade_is_a_regression(self, suite_result):
+        worse = _with_health(
+            suite_result,
+            verdicts={"occupancy": "violation", "height": "ok", "no_cascade": "ok"},
+        )
+        lines = health_regressions(suite_result, worse)
+        assert lines == ["occupancy: ok -> violation"]
+        text = render_text(worse, baseline=suite_result)
+        assert "guarantee REGRESSIONS" in text
+
+    def test_audit_drift_is_a_regression(self, suite_result):
+        drifted = _with_health(suite_result, audit_clean=False)
+        assert any(
+            "drift" in line
+            for line in health_regressions(suite_result, drifted)
+        )
+
+    def test_overhead_budget_breach_is_a_regression(self, suite_result):
+        heavy = _with_health(
+            suite_result,
+            overhead={"monitor_overhead_ratio": 1.5},
+        )
+        assert any(
+            "overhead" in line
+            for line in health_regressions(suite_result, heavy)
+        )
+
+    def test_missing_health_blocks_compare_clean(self, suite_result):
+        legacy = _with_health(suite_result)
+        legacy.health = {}
+        assert health_regressions(legacy, suite_result) == []
+        assert health_regressions(suite_result, legacy) == []
