@@ -19,6 +19,19 @@ fi
 echo "== tests =="
 python -m pytest -x -q
 
+echo "== storage coverage =="
+# The durability layer carries a hard coverage floor: the crash matrix,
+# the WAL unit tests and the recovery property tests together must keep
+# repro.storage above 90%.  Gated on pytest-cov being installed (it is
+# an extra: pip install '.[cov]'); CI runs this lane unconditionally.
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest tests/storage tests/properties/test_recovery_props.py \
+        --cov=repro.storage --cov-report=term-missing:skip-covered \
+        --cov-fail-under=90 -q
+else
+    echo "pytest-cov not installed; skipping the coverage gate (pip install '.[cov]')"
+fi
+
 echo "== perf smoke =="
 python -m repro perf --scale smoke --no-write >/dev/null
 
@@ -36,6 +49,17 @@ events = read_jsonl(sys.argv[1])
 assert events, "obs smoke produced an empty trace"
 PY
 rm -f "$obs_trace"
+
+echo "== durability smoke =="
+# Build a durable store that dies at an injected torn-tail crash, then
+# recover it and verify the rebuilt tree — the full loop the crash
+# matrix exercises, end to end through the CLI.
+durable_dir="${TMPDIR:-/tmp}/repro-durable-smoke"
+rm -rf "$durable_dir"
+python -m repro recover "$durable_dir" --build \
+    --fault 'after-appends=300,tail=torn' \
+    --n 3000 --churn 0.2 --sync os >/dev/null
+rm -rf "$durable_dir"
 
 echo "== doctor smoke =="
 # The guarantee doctor on an adversarial churn workload must pass all

@@ -43,6 +43,30 @@ class PageOverflowError(StorageError):
     """More payload was written to a page than its byte capacity allows."""
 
 
+class WalCorruptionError(StorageError):
+    """A write-ahead-log or page-file record failed its integrity checks.
+
+    Raised when corruption is found somewhere recovery cannot repair —
+    a bad magic number, a checksum mismatch inside a checkpointed page
+    file.  A torn *tail* of the WAL is not corruption: recovery discards
+    it silently, exactly as a real crash demands.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not rebuild a consistent store or tree."""
+
+
+class SimulatedCrashError(StorageError):
+    """A :class:`~repro.storage.faults.FaultPlan` crash point fired.
+
+    The durable store that raised this is dead: every further mutation
+    raises :class:`StorageError`.  Its on-disk files are left exactly as
+    the simulated crash tore them — recover with
+    :func:`repro.storage.durable.recover_store`.
+    """
+
+
 class TreeInvariantError(ReproError):
     """An internal structural invariant of an index was violated.
 

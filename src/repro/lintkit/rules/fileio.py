@@ -1,0 +1,124 @@
+"""R12 — raw file I/O stays inside the WAL and the pagefile codec.
+
+Durability has exactly two modules that are allowed to touch the disk:
+``repro/storage/durable/wal.py`` (append, flush, fsync, truncate of the
+log) and ``repro/storage/durable/pagefile.py`` (strict read and atomic
+replace of the checkpoint image).  Everything else in the storage layer
+— the store, recovery, the buffer pool, snapshots — composes those two.
+A stray ``open()`` anywhere else bypasses the fault plan (injected
+crashes and lying fsyncs never see the write), the WAL stats, and the
+crash-matrix oracle: the byte would be durable in production and
+invisible to every test that proves durability.
+
+Two checks:
+
+1. In library files under ``repro/storage/`` outside the two sanctioned
+   modules: any call to ``open``/``io.open``/``os.open``/``os.write``/
+   ``os.fdopen``, or to a ``.open()``/``.write_bytes()``/
+   ``.write_text()`` method, is flagged.  (Snapshots take a file object
+   the *caller* opened — the layer itself never opens one.)
+2. Anywhere in the library: the on-disk names ``wal.log`` and
+   ``pages.dat`` appear as string literals inside a call.  The canonical
+   spellings are ``WAL_NAME``/``PAGEFILE_NAME`` in
+   :mod:`repro.storage.durable.store`; a re-typed literal silently
+   diverges the day the layout changes.
+
+Tests are exempt throughout — crash tests truncate WALs on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, in_subpackage, is_library_path
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+#: The only storage modules allowed to perform raw file I/O.
+SANCTIONED = ("durable/wal.py", "durable/pagefile.py")
+
+#: On-disk names that must be spelled via the store's constants.
+RESERVED_NAMES = ("wal.log", "pages.dat", "pages.dat.tmp")
+
+#: ``module.function`` calls that reach the filesystem directly.
+_IO_QUALIFIED = {("io", "open"), ("os", "open"), ("os", "write"), ("os", "fdopen")}
+
+#: Method names that write through a ``pathlib.Path``-like object.
+_IO_METHODS = {"open", "write_bytes", "write_text"}
+
+
+def _call_io_description(node: ast.Call) -> str | None:
+    """How this call touches the disk, or None if it does not."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "calls open() directly"
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if (
+            isinstance(value, ast.Name)
+            and (value.id, func.attr) in _IO_QUALIFIED
+        ):
+            return f"calls {value.id}.{func.attr}() directly"
+        if func.attr in _IO_METHODS and not isinstance(value, ast.Name):
+            # Method form (p.open(), p.write_bytes(...)): a Name receiver
+            # is already covered above when it is a module; any other
+            # receiver is some path-like object being written through.
+            return f"calls .{func.attr}() on a path object"
+        if (
+            isinstance(value, ast.Name)
+            and func.attr in _IO_METHODS
+            and (value.id, func.attr) not in _IO_QUALIFIED
+            and value.id not in ("io", "os")
+        ):
+            return f"calls {value.id}.{func.attr}()"
+    return None
+
+
+def _reserved_literals(node: ast.Call) -> Iterator[str]:
+    """Reserved on-disk names spelled as literals in this call."""
+    for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+        if isinstance(arg, ast.Constant) and arg.value in RESERVED_NAMES:
+            yield str(arg.value)
+
+
+@register
+class StorageFileIO(Rule):
+    """Flag raw file I/O outside the WAL/pagefile and re-typed names."""
+
+    code = "R12"
+    name = "raw file I/O outside the durability modules"
+    fix_hint = (
+        "route disk access through WriteAheadLog or the pagefile codec "
+        "(the only modules the fault plan instruments); spell on-disk "
+        "names via WAL_NAME/PAGEFILE_NAME from repro.storage.durable.store"
+    )
+
+    def applies_to(self, posix: str) -> bool:
+        return is_library_path(posix)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        posix = ctx.posix
+        io_banned = in_subpackage(posix, "storage") and not posix.endswith(
+            SANCTIONED
+        )
+        defines_names = posix.endswith("durable/store.py")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if io_banned:
+                how = _call_io_description(node)
+                if how is not None:
+                    yield self.make(
+                        ctx,
+                        node,
+                        f"storage-layer code {how}; raw file I/O belongs "
+                        f"in durable/wal.py or durable/pagefile.py",
+                    )
+            if not defines_names:
+                for name in _reserved_literals(node):
+                    yield self.make(
+                        ctx,
+                        node,
+                        f"on-disk name {name!r} re-typed as a literal",
+                    )

@@ -29,6 +29,10 @@ kind                      emitted when
 ``page_free``             one page released
 ``query_visit``           a range/k-NN traversal visited an entry's block
 ``query_prune``           a traversal pruned a block (with the cut-off)
+``checkpoint``            a durable store checkpointed its page file
+``recovery_begin``        crash recovery started scanning a WAL
+``wal_replay``            one committed WAL record was replayed
+``recovery_end``          recovery finished (with its outcome summary)
 ========================  ====================================================
 
 The schema is documented for external consumers in
@@ -45,6 +49,7 @@ from typing import Any
 from repro.errors import ReproError
 
 __all__ = [
+    "CHECKPOINT",
     "DATA_SPLIT",
     "DEMOTION",
     "DESCENT_STEP",
@@ -61,8 +66,11 @@ __all__ = [
     "PROMOTION",
     "QUERY_PRUNE",
     "QUERY_VISIT",
+    "RECOVERY_BEGIN",
+    "RECOVERY_END",
     "REDISTRIBUTE",
     "TraceEvent",
+    "WAL_REPLAY",
 ]
 
 OP_BEGIN = "op_begin"
@@ -81,6 +89,10 @@ PAGE_ALLOC = "page_alloc"
 PAGE_FREE = "page_free"
 QUERY_VISIT = "query_visit"
 QUERY_PRUNE = "query_prune"
+CHECKPOINT = "checkpoint"
+RECOVERY_BEGIN = "recovery_begin"
+WAL_REPLAY = "wal_replay"
+RECOVERY_END = "recovery_end"
 
 #: Every kind a conforming tracer may emit.  Sinks must accept all of
 #: them (and should tolerate unknown kinds from future versions).
@@ -102,6 +114,10 @@ EVENT_KINDS = frozenset(
         PAGE_FREE,
         QUERY_VISIT,
         QUERY_PRUNE,
+        CHECKPOINT,
+        RECOVERY_BEGIN,
+        WAL_REPLAY,
+        RECOVERY_END,
     }
 )
 

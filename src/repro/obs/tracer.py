@@ -36,6 +36,15 @@ structure while exact-match reads still cost exactly one disabled-branch
 check (the perf probe holds the monitored read path within 3% of the
 uninstrumented one).  Taps receive every event that is emitted, in
 stream order, alongside (not instead of) the sink.
+
+A tap may declare a ``kinds`` attribute (a set of event-kind strings) to
+say it only consumes those kinds.  When *every* attached tap declares
+kinds and no full sink is enabled, the tracer skips constructing events
+of other kinds entirely — a tap that only watches op spans does not make
+every page write build a :class:`TraceEvent` it will discard.  This is
+purely an optimisation: a kind-declaring tap may still receive extra
+kinds (whenever a full sink or an undeclared tap is active) and must
+keep filtering in its ``emit``.
 """
 
 from __future__ import annotations
@@ -109,7 +118,16 @@ class Tracer:
     events interleave in one totally ordered stream (``seq``).
     """
 
-    __slots__ = ("sink", "enabled", "structural", "current_op", "_seq", "_ops", "_taps")
+    __slots__ = (
+        "sink",
+        "enabled",
+        "structural",
+        "current_op",
+        "_seq",
+        "_ops",
+        "_taps",
+        "_tap_kinds",
+    )
 
     def __init__(self, sink: TraceSink | None = None, enabled: bool | None = None):
         self.sink: TraceSink = sink if sink is not None else NullSink()
@@ -128,6 +146,9 @@ class Tracer:
         self._seq = 0
         self._ops = 0
         self._taps: tuple[TraceSink, ...] = ()
+        #: Union of the taps' declared ``kinds``; ``None`` once any tap
+        #: declines to declare (meaning: build every structural event).
+        self._tap_kinds: frozenset[str] | None = frozenset()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -171,11 +192,22 @@ class Tracer:
         if tap not in self._taps:
             self._taps = self._taps + (tap,)
         self.structural = True
+        self._tap_kinds = self._union_tap_kinds()
 
     def remove_tap(self, tap: TraceSink) -> None:
         """Unsubscribe ``tap`` (a no-op if it was never added)."""
         self._taps = tuple(t for t in self._taps if t is not tap)
         self.structural = self.enabled or bool(self._taps)
+        self._tap_kinds = self._union_tap_kinds()
+
+    def _union_tap_kinds(self) -> frozenset[str] | None:
+        kinds: set[str] = set()
+        for tap in self._taps:
+            declared = getattr(tap, "kinds", None)
+            if declared is None:
+                return None
+            kinds.update(declared)
+        return frozenset(kinds)
 
     @property
     def taps(self) -> tuple[TraceSink, ...]:
@@ -196,6 +228,12 @@ class Tracer:
         """
         if not self.structural:
             return
+        if not self.enabled:
+            # Tap-only mode: when every tap declared its kinds, events
+            # nobody consumes are dropped before construction.
+            kinds = self._tap_kinds
+            if kinds is not None and kind not in kinds:
+                return
         self._seq += 1
         event = TraceEvent(self._seq, self.current_op, kind, fields)
         if self.enabled:

@@ -1,0 +1,269 @@
+"""The durability probe: WAL overhead, fsync cost, recovery speed.
+
+Runs once per ``repro perf`` suite (after the timed cases, like the
+observability and health probes) and fills the ``durability`` block of
+``BENCH_<suite>.json`` with the figures ``docs/DURABILITY.md`` quotes
+and the acceptance gate reads:
+
+- ``wal_overhead_ratio`` — insert cost through a
+  :class:`~repro.storage.durable.DurableStore` in ``sync="os"`` mode
+  (every mutation logged and flushed to the OS, no fsync) over the same
+  loop on the in-memory :class:`~repro.storage.PageStore`.  This is the
+  honest price of the durability *machinery* — encoding, framing,
+  checksumming, the write syscall — and the gate holds it at or under
+  3x.  Physical fsync latency is a property of the disk, not the code,
+  so it is reported separately:
+- ``fsync_us_per_commit`` — measured extra cost per committed operation
+  in ``sync="commit"`` mode over a smaller loop (each insert is one
+  group-committed transaction, so this is the per-fsync price).
+- ``recovery`` — wall-clock of a real crash/recover cycle: the probe
+  kills the store mid-workload through a
+  :class:`~repro.storage.faults.FaultPlan`, replays the WAL and
+  rebuilds the tree.
+- ``recovered_health`` — the guarantee doctor driven *on the recovered
+  tree* for the rest of the workload: the paper's guarantees must keep
+  holding after a crash, not just the page bytes.
+
+The probe uses temporary directories and cleans up after itself; its
+population is bounded (``PROBE_POINTS``) and drawn from the same seeded
+generators as the timed cases.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from typing import Any
+
+from repro.core.tree import BVTree
+from repro.errors import SimulatedCrashError
+from repro.geometry.space import DataSpace
+from repro.obs import run_doctor
+from repro.perf.registry import Scale
+from repro.storage import PageStore
+from repro.storage.durable import (
+    DurableStore,
+    create_durable_tree,
+    open_durable_tree,
+)
+from repro.storage.faults import FaultPlan
+from repro.workloads import churn, uniform
+
+__all__ = ["durability_snapshot"]
+
+#: Record-count cap for the overhead loops.
+PROBE_POINTS = 2000
+#: Best-of repeats for each timed loop (interleaved across backends —
+#: see ``_timed_inserts`` — so more repeats tighten the ratio, not just
+#: the absolute figures).
+PROBE_REPEATS = 5
+#: Inserts in the fsync-mode loop (each is one fsynced commit, so this
+#: loop pays PROBE_FSYNC_OPS physical syncs — keep it small).
+PROBE_FSYNC_OPS = 128
+#: Deletion fraction of the post-recovery churn stream.
+RECOVERY_CHURN = 0.2
+
+
+def _probe_points(scale: Scale) -> tuple[DataSpace, list[tuple[float, ...]]]:
+    space = DataSpace.unit(scale.dims, resolution=scale.resolution)
+    n = min(scale.n_points, PROBE_POINTS)
+    # Path-deduplicate so the churn stream in the recovery leg stays
+    # applicable (see repro.workloads.churn).
+    seen: set[int] = set()
+    points: list[tuple[float, ...]] = []
+    for point in uniform(n, scale.dims, seed=scale.seed):
+        path = space.point_path(point)
+        if path not in seen:
+            seen.add(path)
+            points.append(tuple(point))
+    return space, points
+
+
+def _one_insert_run(
+    scale: Scale,
+    space: DataSpace,
+    points: list[tuple[float, ...]],
+    make_store: Any,
+) -> float:
+    """Wall clock of inserting ``points`` into one fresh tree."""
+    store = make_store()
+    tree = BVTree(
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=store,
+    )
+    insert = tree.insert
+    start = time.perf_counter()
+    for i, point in enumerate(points):
+        insert(point, i, replace=True)
+    elapsed = time.perf_counter() - start
+    close = getattr(store, "close", None)
+    if close is not None:
+        close(checkpoint=False)
+    return elapsed
+
+
+def _timed_inserts(
+    scale: Scale,
+    space: DataSpace,
+    points: list[tuple[float, ...]],
+    make_stores: list[Any],
+    repeats: int = PROBE_REPEATS,
+) -> list[float]:
+    """Best-of wall clocks for several backends, *interleaved*.
+
+    Running backend A's repeats back to back and then backend B's lets
+    clock-speed drift (thermal, scheduler) masquerade as a ratio
+    between them; alternating A/B/A/B inside each repeat round cancels
+    it, which matters because the WAL-overhead gate *is* a ratio.
+    """
+    best = [float("inf")] * len(make_stores)
+    for _ in range(repeats):
+        for which, make_store in enumerate(make_stores):
+            best[which] = min(
+                best[which],
+                _one_insert_run(scale, space, points, make_store),
+            )
+    return best
+
+
+def _overhead(
+    scale: Scale,
+    space: DataSpace,
+    points: list[tuple[float, ...]],
+    workdir: str,
+) -> dict[str, Any]:
+    counter = [0]
+
+    def durable_os() -> DurableStore:
+        counter[0] += 1
+        return DurableStore(f"{workdir}/os-{counter[0]}", sync="os")
+
+    memory, wal = _timed_inserts(
+        scale, space, points, [PageStore, durable_os]
+    )
+
+    # fsync mode over a deliberately small loop: one fsync per insert.
+    fsync_points = points[:PROBE_FSYNC_OPS]
+
+    def durable_commit() -> DurableStore:
+        counter[0] += 1
+        return DurableStore(f"{workdir}/commit-{counter[0]}", sync="commit")
+
+    (fsync_total,) = _timed_inserts(
+        scale, space, fsync_points, [durable_commit], repeats=1
+    )
+    (os_small,) = _timed_inserts(
+        scale, space, fsync_points, [durable_os], repeats=1
+    )
+
+    n = len(points)
+    return {
+        "inserts": n,
+        "memory_us_per_insert": memory / n * 1e6,
+        "wal_us_per_insert": wal / n * 1e6,
+        "wal_overhead_ratio": wal / memory if memory > 0 else None,
+        "fsync_commits": len(fsync_points),
+        "fsync_us_per_commit": max(
+            0.0, (fsync_total - os_small) / len(fsync_points) * 1e6
+        ),
+    }
+
+
+def _crash_and_recover(
+    scale: Scale,
+    space: DataSpace,
+    points: list[tuple[float, ...]],
+    workdir: str,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """One full crash/recover cycle plus the doctor on the survivor."""
+    directory = f"{workdir}/crash"
+    # Crash roughly three quarters of the way through the insert
+    # stream: an insert costs ~1.3 WAL appends (one delta record that
+    # doubles as the commit marker, plus the occasional split burst).
+    plan = FaultPlan(
+        crash_after_appends=max(4, len(points)), tail="torn"
+    )
+    tree = create_durable_tree(
+        directory,
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        faults=plan,
+        sync="os",
+    )
+    driven = 0
+    try:
+        for i, point in enumerate(points):
+            tree.insert(point, i, replace=True)
+            driven += 1
+    except SimulatedCrashError:
+        pass
+
+    start = time.perf_counter()
+    recovered, report = open_durable_tree(directory)
+    elapsed = time.perf_counter() - start
+    recovery = {
+        "crashed_after_ops": driven,
+        "records_scanned": report.records_scanned,
+        "records_replayed": report.records_replayed,
+        "committed_txns": report.committed_txns,
+        "torn_tail": report.torn_tail,
+        "recovered_records": recovered.count,
+        "ms_total": elapsed * 1e3,
+        "us_per_record": (
+            elapsed / report.records_replayed * 1e6
+            if report.records_replayed
+            else None
+        ),
+    }
+
+    # Drive the rest of the workload — with deletions — on the recovered
+    # tree under the guarantee doctor: the paper's guarantees must hold
+    # across the crash boundary.
+    committed = {
+        name
+        for name in report.op_commits
+        if name in ("insert", "delete", "bulk_load")
+    }
+    remaining = points[len([n for n in report.op_commits if n == "insert"]) :]
+    operations = churn(
+        remaining, delete_fraction=RECOVERY_CHURN, seed=scale.seed
+    )
+    result = run_doctor(
+        recovered,
+        operations,
+        sample_every=64,
+        max_samples=64,
+        workload="recovered+churn",
+    )
+    recovered.store.close()
+    recovered_health = {
+        "ok": result.exit_code == 0,
+        "audit_clean": result.audit.clean,
+        "verdicts": result.health.verdicts,
+        "ops_after_recovery": result.ops_applied,
+        "committed_ops_replayed": len(committed),
+    }
+    return recovery, recovered_health
+
+
+def durability_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``durability`` block of a ``BENCH_<suite>.json`` snapshot."""
+    space, points = _probe_points(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-durability-")
+    try:
+        out = {
+            "probe_points": len(points),
+            "overhead": _overhead(scale, space, points, workdir),
+        }
+        recovery, recovered_health = _crash_and_recover(
+            scale, space, points, workdir
+        )
+        out["recovery"] = recovery
+        out["recovered_health"] = recovered_health
+        return out
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -100,6 +100,11 @@ class SuiteResult:
     #: (:func:`repro.perf.obsprobe.health_snapshot`).  Additive like
     #: ``observability``: absent in older snapshots, schema unchanged.
     health: dict[str, Any] = field(default_factory=dict)
+    #: WAL overhead, fsync cost, crash-recovery wall clock and the
+    #: recovered-tree guarantee verdicts from the durability probe
+    #: (:func:`repro.perf.durability.durability_snapshot`).  Additive
+    #: like the two blocks above: absent in older snapshots.
+    durability: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -118,6 +123,7 @@ class SuiteResult:
             "derived": self.derived,
             "observability": self.observability,
             "health": self.health,
+            "durability": self.durability,
         }
 
     def to_json(self) -> str:
@@ -145,6 +151,7 @@ class SuiteResult:
             derived=dict(data.get("derived", {})),
             observability=dict(data.get("observability", {})),
             health=dict(data.get("health", {})),
+            durability=dict(data.get("durability", {})),
         )
 
     @classmethod

@@ -20,6 +20,7 @@ from typing import Any, Callable
 from repro.errors import ReproError
 from repro.bench.reporting import format_table
 from repro.perf import scenarios
+from repro.perf.durability import durability_snapshot
 from repro.perf.obsprobe import health_snapshot, observability_snapshot
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult, SuiteResult, compare
@@ -88,6 +89,7 @@ def run_suite(
         )
     obs: dict[str, Any] = {}
     health: dict[str, Any] = {}
+    durability: dict[str, Any] = {}
     if observability:
         if progress is not None:
             progress("observability probe")
@@ -95,6 +97,9 @@ def run_suite(
         if progress is not None:
             progress("health probe (guarantee doctor)")
         health = health_snapshot(scale)
+        if progress is not None:
+            progress("durability probe (WAL overhead + crash recovery)")
+        durability = durability_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -104,6 +109,7 @@ def run_suite(
         derived=derive_metrics(results),
         observability=obs,
         health=health,
+        durability=durability,
     )
 
 
@@ -168,6 +174,8 @@ def render_text(
         blocks.append(_render_observability(result.observability))
     if result.health:
         blocks.append(_render_health(result.health))
+    if result.durability:
+        blocks.append(_render_durability(result.durability))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -233,6 +241,24 @@ def health_regressions(
         out.append(
             f"monitor overhead: {cur_ratio:.3f}x exceeds the 3% budget"
         )
+    base_dur = (baseline.durability.get("overhead") or {}).get(
+        "wal_overhead_ratio"
+    )
+    cur_dur = (current.durability.get("overhead") or {}).get(
+        "wal_overhead_ratio"
+    )
+    if (
+        cur_dur is not None
+        and cur_dur > 3.0
+        and (base_dur is None or base_dur <= 3.0)
+    ):
+        out.append(
+            f"WAL overhead: {cur_dur:.2f}x exceeds the 3x budget"
+        )
+    cur_rec = current.durability.get("recovered_health") or {}
+    base_rec = baseline.durability.get("recovered_health") or {}
+    if base_rec.get("ok", True) and cur_rec and not cur_rec.get("ok", True):
+        out.append("recovered-tree guarantees: ok -> failing")
     return out
 
 
@@ -260,6 +286,59 @@ def _render_health(health: dict[str, Any]) -> str:
             f"guarantee doctor ({health.get('workload')}, "
             f"n={health.get('n_points')}, "
             f"{health.get('ops_applied')} ops)"
+        ),
+    )
+
+
+def _render_durability(durability: dict[str, Any]) -> str:
+    """The durability-probe block of the text report."""
+    rows: list[list[Any]] = []
+    overhead = durability.get("overhead", {})
+    if overhead:
+        rows.append([
+            "in-memory insert",
+            f"{overhead.get('memory_us_per_insert', 0.0):.2f} us/op",
+        ])
+        rows.append([
+            "WAL insert (sync=os)",
+            f"{overhead.get('wal_us_per_insert', 0.0):.2f} us/op",
+        ])
+        ratio = overhead.get("wal_overhead_ratio")
+        if ratio is not None:
+            rows.append(["WAL overhead", f"{ratio:.2f}x"])
+        rows.append([
+            "fsync per commit (sync=commit)",
+            f"{overhead.get('fsync_us_per_commit', 0.0):.0f} us",
+        ])
+    recovery = durability.get("recovery", {})
+    if recovery:
+        rows.append([
+            "crash recovery",
+            f"{recovery.get('ms_total', 0.0):.1f} ms for "
+            f"{recovery.get('records_replayed')} records "
+            f"({recovery.get('recovered_records')} recovered)",
+        ])
+        rows.append([
+            "torn tail discarded",
+            "yes" if recovery.get("torn_tail") else "no",
+        ])
+    recovered = durability.get("recovered_health", {})
+    if recovered:
+        if recovered.get("ok"):
+            verdict = "PASS"
+        else:
+            verdicts = recovered.get("verdicts", {})
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(verdicts.items())
+            )
+            verdict = f"FAIL ({detail})"
+        rows.append(["recovered-tree guarantees", verdict])
+    return format_table(
+        ["durability probe", "value"],
+        rows,
+        title=(
+            f"durability probe (n={durability.get('probe_points')}, "
+            f"WAL vs in-memory)"
         ),
     )
 

@@ -15,6 +15,13 @@ those quantities observable:
   allowed to depend on (lint rule R3); :func:`default_store` builds the
   default backend for callers that do not supply one.
 - :class:`~repro.storage.stats.IOStats` — the counter bundle.
+- :mod:`repro.storage.durable` — the crash-safe file-backed backend:
+  :class:`~repro.storage.durable.DurableStore` (WAL + checkpointed page
+  file behind the same protocol) and its recovery entry points.  It is
+  imported explicitly, not re-exported here, so the in-memory simulator
+  stays import-light; :class:`~repro.storage.faults.FaultPlan` — the
+  injectable crash scenarios the durable backend honours — is re-exported
+  because it is pure configuration.
 
 Pages store live Python objects rather than serialised bytes: every claim
 reproduced from the paper is about page *counts*, heights and occupancies,
@@ -24,6 +31,7 @@ of a page (see §7.3 multiple page sizes) used by the analysis module.
 """
 
 from repro.storage.buffer import BufferPool
+from repro.storage.faults import FaultPlan
 from repro.storage.interface import Storage, default_store
 from repro.storage.pager import PageStore
 from repro.storage.stats import BufferStats, IOStats, SizeClassStats
@@ -31,6 +39,7 @@ from repro.storage.stats import BufferStats, IOStats, SizeClassStats
 __all__ = [
     "BufferPool",
     "BufferStats",
+    "FaultPlan",
     "IOStats",
     "PageStore",
     "SizeClassStats",

@@ -1,0 +1,192 @@
+"""The checkpointed page file: the store's base image between WAL replays.
+
+A page file is the durable snapshot a checkpoint writes: one
+:data:`~repro.storage.durable.wal.REC_HEADER` record (store-wide state)
+followed by one :data:`~repro.storage.durable.wal.REC_PAGE` record per
+live page, all using the WAL's framing (length, sequence field — here
+carrying the page id — type byte, JSON payload, CRC32).  The file opens
+with its own magic (``BVPAGE01``) so a WAL and a page file can never be
+mistaken for each other.
+
+The header carries the *WAL floor*: the sequence number of the last WAL
+record the checkpoint absorbed.  Recovery replays only records above the
+floor, which makes the crash window between "new page file installed"
+and "WAL truncated" safe — stale records are skipped by comparison, not
+by hoping the truncate happened.
+
+Checkpoints are written to a temporary file and installed with
+``os.replace`` (atomic on POSIX), then the directory is fsynced, so the
+live page file is either the complete old image or the complete new one
+— never a torn hybrid.  A crash mid-write (fault stage ``mid_write``)
+only ever tears the temporary file, which recovery ignores and removes.
+
+Unlike the WAL, a page file is never legitimately torn: it is fsynced
+before it is installed.  :func:`load_state` therefore treats *any*
+framing or checksum failure as :class:`~repro.errors.WalCorruptionError`
+rather than a discardable tail.
+
+This module is the second of the two sanctioned raw-file writers in the
+storage layer (lint rule R12).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulatedCrashError, WalCorruptionError
+from repro.storage.durable import codec
+from repro.storage.durable.wal import (
+    REC_HEADER,
+    REC_PAGE,
+    iter_frames,
+    pack_record,
+)
+from repro.storage.faults import FaultPlan
+
+__all__ = ["PAGEFILE_MAGIC", "StoreState", "dump_state", "fsync_dir", "load_state"]
+
+PAGEFILE_MAGIC = b"BVPAGE01"
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreState:
+    """Everything a durable store must carry across a restart."""
+
+    page_bytes: int
+    #: Allocation cursor: the next page id to hand out.
+    next_id: int = 1
+    #: WAL floor — last WAL sequence number absorbed into this image.
+    wal_seq: int = 0
+    #: Application metadata (e.g. the owning tree's geometry and policy).
+    meta: dict[str, Any] = field(default_factory=dict)
+    #: Size class -> page bytes, for explicitly registered classes.
+    classes: dict[int, int] = field(default_factory=dict)
+    #: Page id -> (size class, live content object).
+    pages: dict[int, tuple[int, Any]] = field(default_factory=dict)
+
+
+def fsync_dir(directory: str | os.PathLike[str]) -> None:
+    """fsync a directory so a rename inside it is durable."""
+    fd = os.open(os.fspath(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def dump_state(
+    path: str | os.PathLike[str],
+    state: StoreState,
+    faults: FaultPlan | None = None,
+) -> None:
+    """Write a complete page file (not atomic — write to a temp path).
+
+    The ``mid_write`` fault stage fires after half the page records are
+    on disk, leaving a torn temporary file behind, exactly what a crash
+    during a checkpoint produces.
+    """
+    header = {
+        "v": FORMAT_VERSION,
+        "page_bytes": state.page_bytes,
+        "next_id": state.next_id,
+        "wal_seq": state.wal_seq,
+        "meta": state.meta,
+        "classes": {str(sc): size for sc, size in state.classes.items()},
+    }
+    page_items = sorted(state.pages.items())
+    crash_at = len(page_items) // 2
+    with open(path, "wb") as fp:
+        fp.write(PAGEFILE_MAGIC)
+        fp.write(pack_record(0, REC_HEADER, header))
+        for index, (page_id, (size_class, content)) in enumerate(page_items):
+            if (
+                faults is not None
+                and index == crash_at
+                and faults.note_checkpoint("mid_write")
+            ):
+                _tear_and_raise(fp, path, faults)
+            payload = {
+                "sc": size_class,
+                "c": codec.encode_content(content),
+            }
+            fp.write(pack_record(page_id, REC_PAGE, payload))
+        if (
+            not page_items
+            and faults is not None
+            and faults.note_checkpoint("mid_write")
+        ):
+            _tear_and_raise(fp, path, faults)
+        fp.flush()
+        os.fsync(fp.fileno())
+
+
+def _tear_and_raise(fp: Any, path: str | os.PathLike[str], faults: FaultPlan) -> None:
+    """Cut the in-progress checkpoint mid-frame and die.
+
+    The cut lands *inside* the last written record, never on a frame
+    boundary, so a torn temporary file can never parse as a complete
+    (smaller) checkpoint — :func:`load_state` always detects it.
+    """
+    fp.flush()
+    fp.truncate(max(len(PAGEFILE_MAGIC), fp.tell() - 7))
+    fp.close()
+    raise SimulatedCrashError(
+        f"simulated crash writing checkpoint {os.fspath(path)}: "
+        f"{faults.describe()}"
+    )
+
+
+def load_state(path: str | os.PathLike[str]) -> StoreState | None:
+    """Parse a page file strictly; ``None`` when the file does not exist.
+
+    Any framing, checksum or structural failure raises
+    :class:`WalCorruptionError` — a checkpoint was fsynced before it was
+    installed, so a damaged one is real corruption, not a crash tail.
+    """
+    try:
+        with open(path, "rb") as fp:
+            buf = fp.read()
+    except FileNotFoundError:
+        return None
+    if buf[: len(PAGEFILE_MAGIC)] != PAGEFILE_MAGIC:
+        raise WalCorruptionError(f"{path}: not a page file (bad magic)")
+    offset = len(PAGEFILE_MAGIC)
+    records = list(iter_frames(buf, offset))
+    consumed = records[-1][3] if records else offset
+    if consumed != len(buf):
+        raise WalCorruptionError(
+            f"{path}: page file damaged ({len(buf) - consumed} trailing "
+            f"bytes fail their checksums)"
+        )
+    if not records or records[0][1] != REC_HEADER:
+        raise WalCorruptionError(f"{path}: page file is missing its header")
+    header = records[0][2]
+    if header.get("v") != FORMAT_VERSION:
+        raise WalCorruptionError(
+            f"{path}: unsupported page file version {header.get('v')!r}"
+        )
+    state = StoreState(
+        page_bytes=header["page_bytes"],
+        next_id=header["next_id"],
+        wal_seq=header["wal_seq"],
+        meta=header["meta"],
+        classes={int(sc): size for sc, size in header["classes"].items()},
+    )
+    for page_id, rtype, payload, _ in records[1:]:
+        if rtype != REC_PAGE:
+            raise WalCorruptionError(
+                f"{path}: unexpected record type {rtype} in page file"
+            )
+        if page_id in state.pages:
+            raise WalCorruptionError(
+                f"{path}: page {page_id} appears twice in page file"
+            )
+        state.pages[page_id] = (
+            payload["sc"],
+            codec.decode_content(payload["c"]),
+        )
+    return state

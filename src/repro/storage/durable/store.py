@@ -1,0 +1,632 @@
+"""The durable store: a :class:`PageStore` whose mutations survive crashes.
+
+:class:`DurableStore` subclasses the in-memory
+:class:`~repro.storage.pager.PageStore` — the live page table, size-class
+accounting, I/O counters and trace emission are inherited unchanged, so a
+tree behaves *identically* over either backend (the equivalence tests
+assert byte-identical query results and equal ``OpCounters`` deltas) —
+and adds a durability shadow: every mutation is appended to a
+:class:`~repro.storage.durable.wal.WriteAheadLog` before the call
+returns, and a checkpoint compacts the log into a
+:class:`~repro.storage.durable.pagefile` image.
+
+Transactions ride the tracer
+----------------------------
+One *tree operation* is one WAL transaction.  The store does not ask the
+tree to say when an operation starts — the tree already announces it:
+``BVTree.insert``/``delete``/``bulk_load`` open tracer op spans whenever
+``tracer.structural`` is true.  The store attaches a structural tap
+(:class:`_OpSpanTap`) to whatever tracer it carries, watches
+``op_begin``/``op_end``, and groups every mutation inside the span into
+one transaction.  The transaction's records are buffered and written to
+the log in one burst at ``op_end``, the commit marker riding the last
+record's type byte (``REC_COMMIT_FLAG``, with the operation name in its
+payload), followed in ``sync="commit"`` mode by a single fsync — group
+commit, one transaction per tree operation, with zero changes to
+:mod:`repro.core` (lint rule R3).  A span that exits with an error
+writes nothing at all: the buffered records are dropped, so a failed
+operation is invisible after a crash, same as it is in memory.
+Mutations outside any span (tree construction, direct store use)
+auto-commit individually.
+
+Crash discipline
+----------------
+A fault-plan crash point raises
+:class:`~repro.errors.SimulatedCrashError` and leaves the store *dead*:
+the files keep exactly the bytes the simulated crash left, and every
+further access raises :class:`~repro.errors.StorageError`.  Reopen the
+directory with :func:`repro.storage.durable.recovery.recover_store`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.core.node import DataPage
+from repro.errors import SimulatedCrashError, StorageError
+from repro.obs.events import CHECKPOINT, OP_BEGIN, OP_END, TraceEvent
+from repro.obs.tracer import Tracer
+from repro.storage.durable import codec
+from repro.storage.durable.pagefile import (
+    StoreState,
+    dump_state,
+    fsync_dir,
+)
+from repro.storage.durable.wal import (
+    REC_ALLOC,
+    REC_CLASS,
+    REC_COMMIT_FLAG,
+    REC_FREE,
+    REC_META,
+    REC_WRITE,
+    WriteAheadLog,
+)
+from repro.storage.faults import FaultPlan
+from repro.storage.pager import PageStore
+
+__all__ = ["DurableStore", "PAGEFILE_NAME", "TMP_PAGEFILE_NAME", "WAL_NAME"]
+
+WAL_NAME = "wal.log"
+PAGEFILE_NAME = "pages.dat"
+TMP_PAGEFILE_NAME = "pages.dat.tmp"
+
+#: The tree operations that become WAL transactions (their spans carry
+#: mutations; read spans like ``get``/``range`` never reach the WAL).
+_TXN_OPS = frozenset({"insert", "delete", "bulk_load"})
+
+_SYNC_MODES = ("commit", "os")
+
+
+class _OpSpanTap:
+    """A structural tracer tap that turns op spans into transactions.
+
+    Declares ``kinds`` so a tracer in tap-only mode skips building the
+    structural events the tap would discard (page writes, splits); see
+    :mod:`repro.obs.tracer`.
+    """
+
+    __slots__ = ("_store",)
+
+    #: The only event kinds this tap consumes.
+    kinds = frozenset({OP_BEGIN, OP_END})
+
+    def __init__(self, store: "DurableStore"):
+        self._store = store
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind == OP_BEGIN:
+            if event.fields.get("name") in _TXN_OPS:
+                self._store._begin_op(event.op)
+        elif event.kind == OP_END:
+            if event.fields.get("name") in _TXN_OPS:
+                self._store._end_op(
+                    event.op,
+                    str(event.fields["name"]),
+                    error=("error" in event.fields),
+                )
+
+    def close(self) -> None:
+        """Nothing to release (the store owns all resources)."""
+
+
+class _DeadPageTable(dict):
+    """The page table of a dead or closed store: every access raises.
+
+    :class:`PageStore`'s hot paths go straight at ``self._pages``, so
+    swapping the table for this stand-in poisons *reads* without the
+    durable store overriding :meth:`PageStore.read` — the hottest
+    inherited path stays exactly the parent's, and the liveness check
+    costs nothing until the store actually dies.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "DurableStore"):
+        super().__init__()
+        self._store = store
+
+    def _raise(self) -> Any:
+        self._store._ensure_alive()
+        raise StorageError("durable store page table poisoned")
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._raise()
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._raise()
+
+    def __delitem__(self, key: Any) -> None:
+        self._raise()
+
+    def __contains__(self, key: Any) -> bool:
+        return self._raise()
+
+    def __iter__(self) -> Any:
+        return self._raise()
+
+    def __len__(self) -> int:
+        return self._raise()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._raise()
+
+    def items(self) -> Any:
+        return self._raise()
+
+    def keys(self) -> Any:
+        return self._raise()
+
+    def values(self) -> Any:
+        return self._raise()
+
+
+class DurableStore(PageStore):
+    """A file-backed page store with WAL-based crash safety.
+
+    Creates ``wal.log`` and (at the first checkpoint) ``pages.dat``
+    inside ``directory``.  Refuses a directory that already holds either
+    file — an existing store must be reopened through
+    :func:`~repro.storage.durable.recovery.recover_store`, which is also
+    the clean-shutdown reopen path (a cleanly closed store recovers from
+    its final checkpoint with an empty WAL).
+
+    ``sync="commit"`` (default) fsyncs the WAL at every commit marker;
+    ``sync="os"`` leaves durability to the OS page cache — much faster,
+    but a ``tail="drop_unsynced"`` crash loses everything unsynced.  The
+    ``faults`` plan injects crash points; the default plan never fires.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        page_bytes: int = 4096,
+        *,
+        faults: FaultPlan | None = None,
+        sync: str = "commit",
+    ):
+        if sync not in _SYNC_MODES:
+            raise StorageError(
+                f"unknown sync mode {sync!r}; one of {_SYNC_MODES}"
+            )
+        # The tracer property (below) consults these; they must exist
+        # before PageStore.__init__ assigns ``self.tracer``.
+        self._op_tap: _OpSpanTap | None = None
+        self._tracer = Tracer()
+        self._wal: WriteAheadLog | None = None
+        self._dead = False
+        self._closed = False
+        super().__init__(page_bytes)
+        self.directory = os.fspath(directory)
+        self.faults = faults if faults is not None else FaultPlan()
+        self.sync = sync
+        self._meta: dict[str, Any] = {}
+        self._op_stack: list[int] = []
+        self._txn = 1
+        self._txn_dirty = False
+        # Last record map logged per data page (the delta base) and the
+        # pages whose base advanced inside the open transaction — an
+        # abort rolls those bases back to "unknown" so the next write
+        # logs a full image again (see ``write``).
+        self._logged: dict[int, dict[int, tuple[tuple[float, ...], Any]]] = {}
+        self._txn_touched: set[int] = set()
+        self._txn_buf: list[tuple[int, bytes]] = []
+        os.makedirs(self.directory, exist_ok=True)
+        for name in (WAL_NAME, PAGEFILE_NAME):
+            if os.path.exists(os.path.join(self.directory, name)):
+                raise StorageError(
+                    f"{self.directory} already holds a durable store "
+                    f"({name} exists); reopen it with "
+                    f"repro.storage.durable.recover_store"
+                )
+        self._wal = WriteAheadLog(self.wal_path, self.faults)
+        self._op_tap = _OpSpanTap(self)
+        self._tracer.add_tap(self._op_tap)
+
+    # ------------------------------------------------------------------
+    # Paths and stats
+    # ------------------------------------------------------------------
+
+    def _live_wal(self) -> WriteAheadLog:
+        """The WAL, which outlives ``__init__`` for the store's whole
+        life; absence means the store was never fully constructed."""
+        wal = self._wal
+        if wal is None:
+            raise StorageError("durable store has no WAL (mid-construction)")
+        return wal
+
+    @property
+    def wal_path(self) -> str:
+        """Path of the write-ahead log file."""
+        return os.path.join(self.directory, WAL_NAME)
+
+    @property
+    def pagefile_path(self) -> str:
+        """Path of the checkpointed page file."""
+        return os.path.join(self.directory, PAGEFILE_NAME)
+
+    @property
+    def wal_stats(self) -> Any:
+        """The WAL's counters (appends, commits, fsyncs, bytes)."""
+        return self._live_wal().stats
+
+    @property
+    def wal_seq(self) -> int:
+        """Sequence number of the most recent WAL record."""
+        return self._live_wal().seq
+
+    # ------------------------------------------------------------------
+    # Tracer rebinding: the op tap follows the tracer
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The shared tracer (the op-span tap moves with it)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        tap = self._op_tap
+        if tap is not None:
+            self._tracer.remove_tap(tap)
+        self._tracer = tracer
+        if tap is not None:
+            tracer.add_tap(tap)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def _ensure_alive(self) -> None:
+        # Call sites on the hot path guard with the two attribute reads
+        # inline (``if self._dead or self._closed:``) so the live case
+        # costs no function call; this raiser only runs when one is set.
+        if self._dead:
+            raise StorageError(
+                f"durable store in {self.directory} died in a simulated "
+                f"crash; recover it with repro.storage.durable.recover_store"
+            )
+        if self._closed:
+            raise StorageError(
+                f"durable store in {self.directory} is closed"
+            )
+
+    def _mark_dead(self) -> None:
+        """Mark the store dead and poison its page table (see above)."""
+        self._dead = True
+        self._pages = _DeadPageTable(self)
+
+    @property
+    def dead(self) -> bool:
+        """True once a fault-plan crash point has fired."""
+        return self._dead
+
+    @property
+    def closed(self) -> bool:
+        """True once the store was cleanly closed."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # WAL transaction plumbing (driven by the tracer tap)
+    # ------------------------------------------------------------------
+
+    def _begin_op(self, op_id: int) -> None:
+        if self._dead or self._closed:
+            return
+        self._op_stack.append(op_id)
+
+    def _end_op(self, op_id: int, name: str, error: bool) -> None:
+        stack = self._op_stack
+        if not stack or stack[-1] != op_id:
+            # A span we never saw open (tap attached mid-operation, or
+            # the store died inside it and was reset) — ignore.
+            if op_id in stack:
+                del stack[stack.index(op_id) :]
+            return
+        stack.pop()
+        if stack or self._dead or self._closed:
+            return
+        if error:
+            self._abort()
+        else:
+            self._commit(name)
+
+    def _log(self, rtype: int, payload: dict[str, Any]) -> None:
+        payload["x"] = self._txn
+        self._buffer(rtype, codec.dumps(payload))
+
+    def _buffer(self, rtype: int, body: bytes) -> None:
+        """Queue one encoded record on the open transaction.
+
+        Records stay in the transaction buffer until the commit writes
+        them to the WAL in one burst — so an *aborted* transaction
+        never reaches the log at all, and the commit marker can ride
+        the last record (``REC_COMMIT_FLAG``) instead of costing a
+        record of its own.
+        """
+        if self._wal is None:
+            return
+        self._txn_buf.append((rtype, body))
+        self._txn_dirty = True
+        if not self._op_stack:
+            self._commit("auto")
+
+    def _commit(self, op_name: str) -> None:
+        if not self._txn_dirty:
+            return
+        wal = self._wal
+        buf = self._txn_buf
+        if wal is None or not buf:
+            raise StorageError("commit with no WAL or an empty burst")
+        # Piggyback the commit marker and the operation name on the
+        # final record of the burst (every payload is a JSON object, so
+        # splicing before the closing brace is safe; "op" collides with
+        # no mutation-payload key).
+        rtype, body = buf[-1]
+        buf[-1] = (
+            rtype | REC_COMMIT_FLAG,
+            body[:-1] + b',"op":"' + op_name.encode("ascii") + b'"}',
+        )
+        try:
+            for rec_type, rec_body in buf:
+                wal.append_body(rec_type, rec_body)
+            if self.sync == "commit":
+                wal.sync()
+            # sync="os" leaves even the flush to the buffered writer:
+            # records reach the OS in ~8 KiB batches (and immediately on
+            # sync, close, checkpoint or a simulated crash, which flush
+            # first — so the fault model never sees the buffering).
+        except SimulatedCrashError:
+            self._mark_dead()
+            buf.clear()
+            raise
+        buf.clear()
+        self._txn += 1
+        self._txn_dirty = False
+        self._txn_touched.clear()
+
+    def _abort(self) -> None:
+        # The buffered records are simply dropped — an aborted
+        # transaction leaves no trace in the log.  The delta bases
+        # advanced inside it are lies though; forget them and the next
+        # write of those pages logs a full image.
+        self._txn_buf.clear()
+        for page_id in self._txn_touched:
+            self._logged.pop(page_id, None)
+        self._txn_touched.clear()
+        if self._txn_dirty:
+            self._txn += 1
+            self._txn_dirty = False
+
+    # ------------------------------------------------------------------
+    # Storage protocol: mutations gain a WAL shadow
+    # ------------------------------------------------------------------
+
+    def allocate(self, content: Any = None, size_class: int = 0) -> int:
+        if self._dead or self._closed:
+            self._ensure_alive()
+        page_id = super().allocate(content, size_class)
+        if isinstance(content, DataPage):
+            self._logged[page_id] = dict(content.records)
+            self._txn_touched.add(page_id)
+        self._log(
+            REC_ALLOC,
+            {"id": page_id, "sc": size_class, "c": codec.encode_content(content)},
+        )
+        return page_id
+
+    def write(self, page_id: int, content: Any) -> None:
+        if self._dead or self._closed:
+            self._ensure_alive()
+        super().write(page_id, content)
+        if isinstance(content, DataPage):
+            # Log the change, not the page: O(records touched) instead
+            # of O(page).  The base is the record map as of the last
+            # logged image of this page, advanced *in place* by exactly
+            # the delta that was logged; an unchanged write (possible —
+            # the tree rewrites pages it may not have modified) logs
+            # nothing at all, which replay cannot distinguish anyway.
+            base = self._logged.get(page_id)
+            current = content.records
+            self._txn_touched.add(page_id)
+            if base is None:
+                self._logged[page_id] = dict(current)
+                self._log(
+                    REC_WRITE,
+                    {"id": page_id, "c": codec.encode_content(content)},
+                )
+                return
+            added, removed = codec.diff_records(base, current)
+            if added or removed:
+                self._buffer(
+                    REC_WRITE,
+                    codec.encode_delta_body(
+                        page_id, self._txn, added, removed
+                    ),
+                )
+                for path, record in added:
+                    base[path] = record
+                for path in removed:
+                    del base[path]
+            return
+        self._logged.pop(page_id, None)
+        self._log(
+            REC_WRITE, {"id": page_id, "c": codec.encode_content(content)}
+        )
+
+    def free(self, page_id: int) -> None:
+        if self._dead or self._closed:
+            self._ensure_alive()
+        super().free(page_id)
+        self._logged.pop(page_id, None)
+        self._log(REC_FREE, {"id": page_id})
+
+    def register_size_class(self, size_class: int, page_bytes: int) -> None:
+        self._ensure_alive()
+        existing = self._classes.get(size_class)
+        changed = existing is None or existing.page_bytes != page_bytes
+        super().register_size_class(size_class, page_bytes)
+        if changed:
+            self._log(REC_CLASS, {"sc": size_class, "b": page_bytes})
+
+    # ``read`` is deliberately *not* overridden: a dead or closed store
+    # swaps ``self._pages`` for a :class:`_DeadPageTable`, so the
+    # inherited hot path raises on its first table access.
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Durable application metadata (read-only view; use set_meta)."""
+        return dict(self._meta)
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Store one durable metadata entry (JSON-representable value)."""
+        self._ensure_alive()
+        self._meta[key] = value
+        self._log(REC_META, {"key": key, "v": value})
+
+    # ------------------------------------------------------------------
+    # Checkpointing and shutdown
+    # ------------------------------------------------------------------
+
+    def _state(self) -> StoreState:
+        wal = self._wal
+        return StoreState(
+            page_bytes=self.page_bytes,
+            next_id=self._next_id,
+            wal_seq=wal.seq if wal is not None else 0,
+            meta=dict(self._meta),
+            classes={
+                sc: stats.page_bytes for sc, stats in self._classes.items()
+            },
+            pages={
+                pid: (self._size_class[pid], content)
+                for pid, content in self._pages.items()
+            },
+        )
+
+    def checkpoint(self) -> None:
+        """Compact the WAL into a fresh page file (crash-atomic).
+
+        Writes the complete image to a temporary file, installs it with
+        an atomic rename, fsyncs the directory, then truncates the WAL.
+        A crash anywhere in between leaves a recoverable pair of files:
+        the header's WAL floor makes replay over either image correct.
+        """
+        self._ensure_alive()
+        wal = self._live_wal()
+        tmp_path = os.path.join(self.directory, TMP_PAGEFILE_NAME)
+        state = self._state()
+        try:
+            dump_state(tmp_path, state, faults=self.faults)
+        except SimulatedCrashError:
+            self._die_with_wal()
+            raise
+        os.replace(tmp_path, self.pagefile_path)
+        fsync_dir(self.directory)
+        if self.faults.note_checkpoint("before_truncate"):
+            self._die_with_wal()
+            raise SimulatedCrashError(
+                f"simulated crash after installing checkpoint in "
+                f"{self.directory}: {self.faults.describe()}"
+            )
+        wal.reset()
+        tracer = self._tracer
+        if tracer.structural:
+            tracer.emit(
+                CHECKPOINT,
+                pages=len(self._pages),
+                wal_seq=state.wal_seq,
+                bytes=self.live_bytes(),
+            )
+
+    def _die_with_wal(self) -> None:
+        """A non-WAL crash point fired: tear the WAL too, mark dead."""
+        self._mark_dead()
+        if self._wal is not None and not self._wal.closed:
+            try:
+                self._wal.crash()
+            except SimulatedCrashError:
+                pass  # the caller raises its own crash error
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Checkpoint (by default) and close the files (idempotent).
+
+        ``checkpoint=False`` skips compaction, leaving the WAL as the
+        only record of work since the previous checkpoint — the state a
+        long-running process is in most of the time, and the interesting
+        starting point for recovery tests.
+        """
+        if self._dead or self._closed:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self._live_wal().close()
+        self._closed = True
+        self._pages = _DeadPageTable(self)
+
+    # ------------------------------------------------------------------
+    # Recovery back door
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_state(
+        cls,
+        directory: str | os.PathLike[str],
+        state: StoreState,
+        *,
+        faults: FaultPlan | None = None,
+        sync: str = "commit",
+        start_seq: int = 0,
+    ) -> "DurableStore":
+        """Materialise a store from recovered state (recovery use only).
+
+        Writes the checkpoint *first*, then opens a fresh WAL — a crash
+        between the two leaves the old WAL beside the new image, whose
+        floor makes the stale records inert.
+        """
+        store = cls.__new__(cls)
+        store._op_tap = None
+        store._tracer = Tracer()
+        store._wal = None
+        store._dead = False
+        store._closed = False
+        PageStore.__init__(store, state.page_bytes)
+        store.directory = os.fspath(directory)
+        store.faults = faults if faults is not None else FaultPlan()
+        store.sync = sync
+        store._meta = dict(state.meta)
+        store._op_stack = []
+        store._txn = 1
+        store._txn_dirty = False
+        store._logged = {}
+        store._txn_touched = set()
+        store._txn_buf = []
+        os.makedirs(store.directory, exist_ok=True)
+        for size_class, page_bytes in sorted(state.classes.items()):
+            PageStore.register_size_class(store, size_class, page_bytes)
+        for page_id, (size_class, content) in state.pages.items():
+            store._pages[page_id] = content
+            store._size_class[page_id] = size_class
+            stats = store._class_stats(size_class)
+            stats.live_pages += 1
+            stats.total_allocated += 1
+            stats.peak_pages = max(stats.peak_pages, stats.live_pages)
+        store._next_id = max(
+            state.next_id, max(state.pages, default=0) + 1
+        )
+        state = store._state()
+        state.wal_seq = start_seq
+        tmp_path = os.path.join(store.directory, TMP_PAGEFILE_NAME)
+        dump_state(tmp_path, state)
+        os.replace(tmp_path, store.pagefile_path)
+        fsync_dir(store.directory)
+        store._wal = WriteAheadLog(
+            store.wal_path, store.faults, start_seq=start_seq
+        )
+        store._op_tap = _OpSpanTap(store)
+        store._tracer.add_tap(store._op_tap)
+        return store

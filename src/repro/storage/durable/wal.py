@@ -1,0 +1,352 @@
+"""The write-ahead log: append-only, checksummed, crash-truncatable.
+
+Record framing (shared with the checkpoint page file, which reuses it):
+
+.. code-block:: text
+
+    +----------------+---------+---------+-----------------+---------+
+    | payload_len u32| seq u32 | type u8 | payload (JSON)  | crc u32 |
+    +----------------+---------+---------+-----------------+---------+
+     <------- little-endian header ------>                  CRC32 of
+                                                            header+payload
+
+The file opens with an 8-byte magic (``BVWAL001``).  Sequence numbers
+are assigned by the writer, strictly increasing across the life of a
+store — a checkpoint resets the *file* but not the counter, and stores
+the last sequence number in the page-file header so recovery can skip
+records the checkpoint already absorbed (an LSN floor, ARIES-style).
+
+Torn tails are a *scan* concern, not a write concern: :func:`scan_wal`
+accepts any prefix of a valid log, stopping at the first record whose
+frame is short or whose CRC fails, and reports what it discarded.  Only
+a bad magic in a non-empty file is corruption — that file was never a
+WAL of ours.
+
+Commits piggyback on records: the high bit of the type byte
+(``REC_COMMIT_FLAG``) marks a record as the *last of its committed
+transaction*, so a single-mutation transaction — the overwhelmingly
+common case — costs exactly one record.  ``base_type`` strips the flag;
+a standalone ``REC_COMMIT`` record also exists for transactions that
+have nothing else to say (none are written today, but the scanner
+accepts them).
+
+Durability model: appends accumulate in the userspace buffer and reach
+the OS (the simulated page cache) when the buffered writer spills,
+on :meth:`WriteAheadLog.flush`, and before every fault action; only
+:meth:`WriteAheadLog.sync` — an ``fsync`` — advances the *synced*
+watermark.  A :class:`~repro.storage.faults.FaultPlan` decides what
+survives a crash: ``tail="drop_unsynced"`` truncates back to the
+watermark, ``tail="torn"`` cuts the final record mid-frame, and
+``drop_fsync=True`` makes syncs lie (the watermark stays put).  This
+module is one of the two sanctioned raw-file writers in the storage
+layer (lint rule R12); everything else goes through it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import SimulatedCrashError, StorageError, WalCorruptionError
+from repro.storage.durable import codec
+from repro.storage.faults import TAIL_DROP_UNSYNCED, TAIL_TORN, FaultPlan
+
+__all__ = [
+    "REC_ALLOC",
+    "REC_CLASS",
+    "REC_COMMIT",
+    "REC_COMMIT_FLAG",
+    "REC_FREE",
+    "REC_HEADER",
+    "REC_META",
+    "REC_PAGE",
+    "REC_WRITE",
+    "WAL_MAGIC",
+    "WalScan",
+    "WalStats",
+    "WriteAheadLog",
+    "base_type",
+    "iter_frames",
+    "pack_record",
+    "scan_wal",
+]
+
+WAL_MAGIC = b"BVWAL001"
+
+_FRAME = struct.Struct("<IIB")  # payload_len, seq, record type
+_CRC = struct.Struct("<I")
+
+#: Record types.  1-6 appear in the WAL; 7-8 only in the page file
+#: (which borrows this framing — see :mod:`repro.storage.durable.pagefile`).
+REC_ALLOC = 1
+REC_WRITE = 2
+REC_FREE = 3
+REC_CLASS = 4
+REC_COMMIT = 5
+REC_META = 6
+REC_HEADER = 7
+REC_PAGE = 8
+
+#: High bit of the type byte: this record is the last of its committed
+#: transaction (the commit marker piggybacks on the final mutation).
+REC_COMMIT_FLAG = 0x80
+
+RECORD_NAMES = {
+    REC_ALLOC: "alloc",
+    REC_WRITE: "write",
+    REC_FREE: "free",
+    REC_CLASS: "class",
+    REC_COMMIT: "commit",
+    REC_META: "meta",
+    REC_HEADER: "header",
+    REC_PAGE: "page",
+}
+
+
+def base_type(rtype: int) -> int:
+    """The record type with the commit flag stripped."""
+    return rtype & ~REC_COMMIT_FLAG
+
+
+def frame_body(seq: int, rtype: int, body: bytes) -> bytes:
+    """Frame an already-encoded payload (the hot-path entry point)."""
+    header = _FRAME.pack(len(body), seq, rtype)
+    crc = zlib.crc32(body, zlib.crc32(header)) & 0xFFFFFFFF
+    return header + body + _CRC.pack(crc)
+
+
+def pack_record(seq: int, rtype: int, payload: dict[str, Any]) -> bytes:
+    """One framed, checksummed record as bytes."""
+    return frame_body(seq, rtype, codec.dumps(payload))
+
+
+def iter_frames(
+    buf: bytes, offset: int = 0
+) -> Iterator[tuple[int, int, dict[str, Any], int]]:
+    """Yield ``(seq, rtype, payload, end_offset)`` for each valid record.
+
+    Stops silently at the first short or checksum-failing frame — a torn
+    tail is a normal crash artefact, not an error.  Callers that need to
+    know *how much* was discarded compare the last ``end_offset`` against
+    ``len(buf)``.
+    """
+    end = len(buf)
+    while offset + _FRAME.size <= end:
+        length, seq, rtype = _FRAME.unpack_from(buf, offset)
+        frame_end = offset + _FRAME.size + length + _CRC.size
+        if frame_end > end:
+            return
+        body = buf[offset + _FRAME.size : offset + _FRAME.size + length]
+        (crc,) = _CRC.unpack_from(buf, frame_end - _CRC.size)
+        want = zlib.crc32(body, zlib.crc32(buf[offset : offset + _FRAME.size]))
+        if crc != (want & 0xFFFFFFFF):
+            return
+        try:
+            payload = codec.loads(body)
+        except WalCorruptionError:
+            return
+        yield seq, rtype, payload, frame_end
+        offset = frame_end
+
+
+@dataclass
+class WalStats:
+    """Counters for one WAL's life (reset by recovery, not checkpoints)."""
+
+    appends: int = 0
+    commits: int = 0
+    syncs: int = 0
+    syncs_dropped: int = 0
+    bytes_written: int = 0
+    resets: int = 0
+
+
+@dataclass
+class WalScan:
+    """What :func:`scan_wal` found.
+
+    ``records`` is every frame that parsed, in file order;
+    ``discarded_bytes`` is the torn/garbage suffix length (0 for a clean
+    log); ``last_seq`` is the highest sequence number seen.
+    """
+
+    records: list[tuple[int, int, dict[str, Any]]] = field(default_factory=list)
+    discarded_bytes: int = 0
+    last_seq: int = 0
+
+    @property
+    def torn(self) -> bool:
+        """True when a torn/garbage tail was discarded."""
+        return self.discarded_bytes > 0
+
+
+def scan_wal(path: str | os.PathLike[str]) -> WalScan:
+    """Parse a WAL file, tolerating any crash-torn tail.
+
+    A missing or empty file is an empty log (the crash may have beaten
+    even the magic to disk).  A non-empty file that does not start with
+    the magic raises :class:`WalCorruptionError` — that is not our WAL.
+    """
+    try:
+        with open(path, "rb") as fp:
+            buf = fp.read()
+    except FileNotFoundError:
+        return WalScan()
+    if not buf:
+        return WalScan()
+    if len(buf) < len(WAL_MAGIC):
+        if WAL_MAGIC.startswith(buf):
+            return WalScan(discarded_bytes=len(buf))
+        raise WalCorruptionError(f"{path}: not a WAL file (bad magic)")
+    if buf[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalCorruptionError(f"{path}: not a WAL file (bad magic)")
+    scan = WalScan()
+    offset = len(WAL_MAGIC)
+    for seq, rtype, payload, end in iter_frames(buf, offset):
+        scan.records.append((seq, rtype, payload))
+        scan.last_seq = max(scan.last_seq, seq)
+        offset = end
+    scan.discarded_bytes = len(buf) - offset
+    return scan
+
+
+class WriteAheadLog:
+    """The append side of the log, with fault-plan crash points.
+
+    One instance belongs to one
+    :class:`~repro.storage.durable.store.DurableStore`.  ``append``
+    writes and flushes a record to the OS and consults the fault plan;
+    if the plan's crash point fires, the configured tail policy is
+    applied to the file, the log closes, and
+    :class:`~repro.errors.SimulatedCrashError` propagates — the owning
+    store catches it to mark itself dead.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        faults: FaultPlan,
+        start_seq: int = 0,
+    ):
+        self.path = os.fspath(path)
+        self.faults = faults
+        self.stats = WalStats()
+        self._seq = start_seq
+        self._file = open(self.path, "wb")
+        self._file.write(WAL_MAGIC)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._length = len(WAL_MAGIC)
+        self._synced_length = self._length
+        self._last_record_offset = self._length
+        self._closed = False
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recently appended record."""
+        return self._seq
+
+    @property
+    def length(self) -> int:
+        """Bytes written so far (magic included)."""
+        return self._length
+
+    def append(self, rtype: int, payload: dict[str, Any]) -> int:
+        """Encode and buffer one record; returns its sequence number."""
+        return self.append_body(rtype, codec.dumps(payload))
+
+    def append_body(self, rtype: int, body: bytes) -> int:
+        """Buffer one pre-encoded record for the log.
+
+        Records sit in the userspace buffer until it spills (or
+        :meth:`flush`/:meth:`sync`/a fault action pushes them out) —
+        group commit must not pay a syscall per record.  The crash path
+        flushes before applying its tail policy, so buffering is
+        invisible to the fault machinery.
+        """
+        if self._closed:
+            raise StorageError("write-ahead log is closed")
+        self._seq += 1
+        record = frame_body(self._seq, rtype, body)
+        self._file.write(record)
+        self._last_record_offset = self._length
+        self._length += len(record)
+        self.stats.appends += 1
+        self.stats.bytes_written += len(record)
+        if rtype & REC_COMMIT_FLAG or rtype == REC_COMMIT:
+            self.stats.commits += 1
+        if self.faults.note_append():
+            self.crash()
+        return self._seq
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (no fsync)."""
+        if self._closed:
+            raise StorageError("write-ahead log is closed")
+        self._file.flush()
+
+    def sync(self) -> None:
+        """fsync the log — unless the fault plan makes the fsync lie."""
+        if self._closed:
+            raise StorageError("write-ahead log is closed")
+        self._file.flush()
+        self.stats.syncs += 1
+        if self.faults.note_fsync():
+            os.fsync(self._file.fileno())
+            self._synced_length = self._length
+        else:
+            self.stats.syncs_dropped += 1
+
+    def crash(self) -> None:
+        """Apply the plan's tail policy, close the file, and raise."""
+        self._file.flush()
+        tail = self.faults.tail
+        if tail == TAIL_DROP_UNSYNCED:
+            self._file.truncate(self._synced_length)
+        elif tail == TAIL_TORN and self._length > self._last_record_offset:
+            record_len = self._length - self._last_record_offset
+            keep = max(1, int(record_len * self.faults.torn_fraction))
+            if keep < record_len:
+                self._file.truncate(self._last_record_offset + keep)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed = True
+        raise SimulatedCrashError(
+            f"simulated crash in WAL {self.path}: {self.faults.describe()}"
+        )
+
+    def reset(self) -> None:
+        """Truncate back to the magic (a checkpoint absorbed the log).
+
+        The sequence counter is *not* reset — it keeps increasing across
+        the store's life so the page-file header's floor stays a simple
+        comparison.
+        """
+        if self._closed:
+            raise StorageError("write-ahead log is closed")
+        self._file.truncate(len(WAL_MAGIC))
+        self._file.seek(len(WAL_MAGIC))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._length = len(WAL_MAGIC)
+        self._synced_length = self._length
+        self._last_record_offset = self._length
+        self.stats.resets += 1
+
+    def close(self) -> None:
+        """Flush, fsync honestly, and close (idempotent)."""
+        if self._closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once the log has been closed (or crashed)."""
+        return self._closed

@@ -552,3 +552,106 @@ class TestR11CoreMetricsBan:
             """,
         )
         assert "R11" not in codes(findings)
+
+
+class TestR12StorageFileIO:
+    def test_flags_open_in_storage_layer(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/helper.py",
+            """
+            def read_sidecar(path):
+                with open(path, "rb") as fp:
+                    return fp.read()
+            """,
+        )
+        assert codes(findings) == ["R12"]
+
+    def test_flags_path_write_methods_in_storage_layer(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/helper.py",
+            """
+            def install(path, payload):
+                path.write_bytes(payload)
+            """,
+        )
+        assert codes(findings) == ["R12"]
+
+    def test_flags_os_level_io_in_storage_layer(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/helper.py",
+            """
+            import os
+
+            def raw(path, payload):
+                fd = os.open(path, 0)
+                os.write(fd, payload)
+            """,
+        )
+        assert codes(findings) == ["R12", "R12"]
+
+    def test_wal_module_is_sanctioned(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/durable/wal.py",
+            """
+            def persist(path, payload):
+                with open(path, "ab") as fp:
+                    fp.write(payload)
+            """,
+        )
+        assert "R12" not in codes(findings)
+
+    def test_pagefile_module_is_sanctioned(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/durable/pagefile.py",
+            """
+            def install(path, payload):
+                path.write_bytes(payload)
+            """,
+        )
+        assert "R12" not in codes(findings)
+
+    def test_flags_retyped_on_disk_name_anywhere_in_library(
+        self, lint_snippet
+    ):
+        _, findings = lint_snippet(
+            "proj/repro/cli.py",
+            """
+            import os
+
+            def wal_path(directory):
+                return os.path.join(directory, "wal.log")
+            """,
+        )
+        assert codes(findings) == ["R12"]
+
+    def test_store_module_may_define_the_names(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/durable/store.py",
+            """
+            WAL_NAME = "wal.log"
+            PAGEFILE_NAME = "pages.dat"
+            """,
+        )
+        assert "R12" not in codes(findings)
+
+    def test_open_outside_storage_is_allowed(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/cli.py",
+            """
+            def load(path):
+                with open(path) as fp:
+                    return fp.read()
+            """,
+        )
+        assert "R12" not in codes(findings)
+
+    def test_tests_are_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/tests/storage/test_crashes.py",
+            """
+            def truncate_wal(directory, offset):
+                with open(directory / "wal.log", "r+b") as fp:
+                    fp.truncate(offset)
+            """,
+        )
+        assert "R12" not in codes(findings)

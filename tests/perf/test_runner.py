@@ -66,6 +66,7 @@ class TestRunSuite:
             "exact_match",
             "observability probe",
             "health probe (guarantee doctor)",
+            "durability probe (WAL overhead + crash recovery)",
         ]
 
     def test_progress_without_observability(self):
