@@ -32,8 +32,18 @@ else
     echo "pytest-cov not installed; skipping the coverage gate (pip install '.[cov]')"
 fi
 
+echo "== columnar equivalence =="
+# The columnar layout's differential contract: random op mixes driven
+# in lockstep against the object layout must produce identical answers
+# and identical OpCounters/IOStats (tier-1 runs this too; kept as its
+# own lane so a layout divergence is named, not buried).
+python -m pytest -x -q tests/properties/test_columnar_equivalence.py
+
 echo "== perf smoke =="
+# Both layout lanes; each run also executes the object-vs-columnar
+# oracle probe and exits non-zero on divergence.
 python -m repro perf --scale smoke --no-write >/dev/null
+python -m repro perf --scale smoke --layout columnar --no-write >/dev/null
 
 echo "== obs smoke =="
 # EXPLAIN and a traced workload must run end to end; the JSONL artifact

@@ -175,6 +175,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         warmup=args.warmup,
         seed=args.seed,
+        layout=args.layout,
     )
     # Load the baseline before the (potentially long) run so a bad path
     # fails in milliseconds, not after the whole suite has been timed.
@@ -193,6 +194,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         written = result.write(out)
         if args.format == "text":
             print(f"\nwrote {written}")
+    oracle = result.columnar.get("oracle", {})
+    if oracle and not oracle.get("equal"):
+        diverged = sorted(
+            name
+            for name, equal in oracle.items()
+            if name != "equal" and not equal
+        )
+        print(
+            "perf: columnar layout oracle DIVERGED from the object "
+            f"layout on: {', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -351,6 +365,7 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
 
     from repro.core.tree import BVTree
     from repro.obs import HealthThresholds, render_doctor_text, run_doctor
+    from repro.storage import ColumnarStore, PageStore
     from repro.workloads import churn as churn_ops
 
     space = DataSpace.unit(args.dims, resolution=18)
@@ -370,6 +385,9 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         data_capacity=args.data_capacity,
         fanout=args.fanout,
         policy=args.policy,
+        store=(
+            ColumnarStore() if args.layout == "columnar" else PageStore()
+        ),
     )
     operations = (
         churn_ops(points, delete_fraction=args.churn, seed=args.seed)
@@ -569,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=None, help="override warmup runs")
     p.add_argument("--seed", type=int, default=None, help="override workload seed")
     p.add_argument(
+        "--layout", choices=["object", "columnar"], default=None,
+        help="page layout the timed cases run on (the columnar probe "
+             "always measures both lanes)",
+    )
+    p.add_argument(
         "--only", nargs="+", metavar="CASE", default=None,
         help="run only the named cases",
     )
@@ -669,6 +692,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-capacity", type=int, default=16)
     p.add_argument("--fanout", type=int, default=16)
     p.add_argument("--policy", choices=["scaled", "uniform"], default="scaled")
+    p.add_argument(
+        "--layout", choices=["object", "columnar"], default="object",
+        help="page layout of the monitored tree",
+    )
     p.add_argument(
         "--churn", type=float, default=0.0, metavar="FRACTION",
         help="interleave this fraction of deletions into the stream",

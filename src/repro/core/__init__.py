@@ -20,9 +20,18 @@ tree, which re-constitutes the partition hierarchy on the fly.
 Public entry point: :class:`~repro.core.tree.BVTree`.
 """
 
+from repro.core.columnar import ColumnarDataPage, ColumnarIndexNode
 from repro.core.entry import Entry
 from repro.core.node import DataPage, IndexNode
 from repro.core.policy import CapacityPolicy
 from repro.core.tree import BVTree
 
-__all__ = ["BVTree", "CapacityPolicy", "DataPage", "Entry", "IndexNode"]
+__all__ = [
+    "BVTree",
+    "CapacityPolicy",
+    "ColumnarDataPage",
+    "ColumnarIndexNode",
+    "DataPage",
+    "Entry",
+    "IndexNode",
+]

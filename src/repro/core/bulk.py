@@ -95,12 +95,13 @@ def bulk_load(
     )
 
     def page_for(ranges: Ranges) -> DataPage:
-        page = DataPage()
-        records_out = page.records
-        for start, end in ranges:
-            for i in range(start, end):
-                path, point, value = deduped[i]
-                records_out[path] = (point, value)
+        # Ranges are ascending disjoint runs into the sorted path array,
+        # so their concatenation is already in path order — a columnar
+        # page is built by straight appends, no per-record bisect.
+        page = tree.make_data_page()
+        page.fill_sorted(
+            deduped[i] for start, end in ranges for i in range(start, end)
+        )
         return page
 
     # Replay the planned splits oldest-first through the incremental

@@ -207,7 +207,7 @@ def _try_absorb(
     if victim.level == 0:
         into_page: DataPage = tree.store.read(into.page)
         victim_page: DataPage = tree.store.read(victim.page)
-        into_page.records.update(victim_page.records)
+        into_page.absorb(victim_page)
         tree.store.write(into.page, into_page)
         _remove_entry(tree, victim, find_owner(tree, victim))
         if tree.policy.data_overflows(len(into_page)):
@@ -307,7 +307,7 @@ def _try_merge_buddies(tree: "BVTree", entry: Entry, depth: int) -> bool:
     if entry.level == 0:
         page: DataPage = tree.store.read(entry.page)
         buddy_page: DataPage = tree.store.read(buddy.page)
-        page.records.update(buddy_page.records)
+        page.absorb(buddy_page)
         tree.store.write(entry.page, page)
     else:
         node = tree.store.read(entry.page)

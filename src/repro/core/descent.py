@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import TreeInvariantError
+from repro.core.columnar import locate_columnar
 from repro.core.entry import Entry
 from repro.core.guards import GuardSet
 from repro.core.node import IndexNode
@@ -102,13 +103,29 @@ def step(
 def locate(tree: "BVTree", path: int) -> Locate:
     """Descend from the root to the data page responsible for ``path``."""
     path_bits = tree.space.path_bits
+    tracer = tree.tracer
+    # Columnar trees take the fused column descent (same pages, same
+    # winners, same errors — see locate_columnar); the traced path always
+    # goes through step() so guard_hit events keep their one emitter.
+    if (
+        not tracer.enabled
+        and tree.layout == "columnar"
+        and tree.height > 0
+    ):
+        entry, owner, guard_map, max_guards = locate_columnar(tree, path)
+        return Locate(
+            entry=entry,
+            owner_page=owner,
+            guards=GuardSet.adopt(guard_map),
+            nodes_visited=tree.height + 1,
+            max_guard_set=max_guards,
+        )
     entry = tree.root_entry()
     owner_page: int | None = None
     guards = GuardSet()
     nodes_visited = 0
     max_guard_set = 0
     read = tree.store.read
-    tracer = tree.tracer
     # Hoisted once: the untraced loop below pays one local-bool branch
     # per level, which is the whole "zero overhead when disabled" budget.
     step_tracer = tracer if tracer.enabled else None

@@ -30,6 +30,18 @@ class GuardSet:
     def __init__(self) -> None:
         self._by_level: dict[int, GuardRef] = {}
 
+    @classmethod
+    def adopt(cls, by_level: dict[int, GuardRef]) -> "GuardSet":
+        """Wrap an already-built level map without copying it.
+
+        The fused columnar descent (:func:`~repro.core.columnar
+        .locate_columnar`) maintains the map directly and hands it over
+        here; the caller must not keep its own reference.
+        """
+        guards = cls()
+        guards._by_level = by_level
+        return guards
+
     def merge(self, entry: Entry, owner_page: int) -> None:
         """Add a matching guard, keeping the longer prefix on conflict.
 

@@ -49,7 +49,7 @@ def insert_point(
     path = tree.space.point_path(pt)
     found = locate(tree, path)
     page: DataPage = tree.store.read(found.entry.page)
-    had_record = path in page.records
+    had_record = path in page
     page.insert(path, pt, value, replace=replace)
     tree.store.write(found.entry.page, page)
     tree.stats.inserts += 1
@@ -70,10 +70,7 @@ def split_data_page(tree: "BVTree", entry: Entry) -> None:
     path_bits = tree.space.path_bits
     items = [(p, path_bits) for p in page.paths()]
     split_key = choose_split(entry.key, items)
-    inner = DataPage()
-    for p in list(page.paths()):
-        if split_key.contains_path(p, path_bits):
-            inner.records[p] = page.records.pop(p)
+    inner = page.extract_block(split_key, path_bits)
     inner_page = tree.alloc_data_page(inner)
     tree.store.write(entry.page, page)
     tree.stats.data_splits += 1
@@ -89,7 +86,7 @@ def split_data_page(tree: "BVTree", entry: Entry) -> None:
             key=split_key.bit_string(),
             outer_page=entry.page,
             inner_page=inner_page,
-            moved=len(inner.records),
+            moved=len(inner),
         )
     inner_entry = Entry(split_key, 0, inner_page)
     tree.register_entry(inner_entry)
@@ -151,7 +148,7 @@ def split_index_node(tree: "BVTree", node_page: int, entry: Entry) -> None:
         # everything else stays in the (outer) node
     for e in inner_entries + promoted:
         node.remove(e)
-    inner_node = IndexNode(node.index_level, inner_entries)
+    inner_node = tree.make_index_node(node.index_level, inner_entries)
     inner_page = tree.alloc_index_node(inner_node)
     tree.store.write(node_page, node)
     tree.stats.index_splits += 1
@@ -177,7 +174,12 @@ def split_index_node(tree: "BVTree", node_page: int, entry: Entry) -> None:
     inner_entry = Entry(split_key, entry.level, inner_page)
     tree.register_entry(inner_entry)
     _place_split_inner(tree, inner_entry, entry)
-    for g in promoted:
+    # Re-place highest level first: a lower-level guard's canonical
+    # position depends on the higher-level regions that enclose it, so
+    # those must be back in the index before the guard's descent runs
+    # (placing the level-0 guard of a promoted pair first would demote it
+    # along a path that stops existing once the level-1 entry returns).
+    for g in sorted(promoted, key=lambda e: e.level, reverse=True):
         _place_guard(tree, g)
 
 
@@ -223,7 +225,7 @@ def _grow_root(tree: "BVTree") -> int:
     old = tree.root_entry()
     child = Entry(ROOT_KEY, old.level, old.page)
     tree.register_entry(child)
-    new_root = IndexNode(old.level + 1, [child])
+    new_root = tree.make_index_node(old.level + 1, [child])
     new_page = tree.alloc_index_node(new_root)
     tree.root_page = new_page
     tree.height += 1
@@ -249,6 +251,10 @@ def _demote_unjustified(tree: "BVTree", node_page: int) -> None:
     for guard in stale:
         node.remove(guard)
     tree.store.write(node_page, node)
+    # Highest level first, for the same reason as the promotion re-place
+    # loop in split_index_node: lower-level guards canonically sit below
+    # the higher-level regions enclosing them.
+    stale.sort(key=lambda e: e.level, reverse=True)
     for guard in stale:
         _place_guard(tree, guard)
 

@@ -82,6 +82,13 @@ def nearest_neighbours(
             f"{tree.space.ndim}"
         )
     query = tuple(float(x) for x in point)
+    if tree.layout == "columnar" and not tree.tracer.enabled:
+        # Separate loop (same pattern as the traced/untraced range
+        # split): distance evaluation runs over the packed coordinate
+        # columns, child bounds over the cached integer origins — the
+        # exact floats of key_min_dist_sq, so visits and prunes match
+        # the object layout's.
+        return _nearest_columnar(tree, query, k)
     counter = itertools.count()  # tie-breaker: heap entries stay orderable
     heap: list[tuple[float, int, Any]] = [(0.0, next(counter), tree.root_entry())]
     best: list[tuple[float, int, Neighbour]] = []  # max-heap via negation
@@ -139,4 +146,41 @@ def nearest_neighbours(
                 )
 
     ordered = sorted((n for _, _, n in best), key=lambda n: n.distance)
+    return KNNResult(neighbours=ordered, pages_visited=pages_visited)
+
+
+def _nearest_columnar(
+    tree: "BVTree", query: tuple[float, ...], k: int
+) -> KNNResult:
+    """Best-first k-NN over columnar pages (untraced hot path).
+
+    The candidate max-heap holds ``(-dist_sq, tiebreak, point, value)``
+    tuples — ``Neighbour`` objects are only materialised for the final
+    result list.  The traversal order, visit count and pruning decisions
+    are identical to :func:`nearest_neighbours` on an object-layout tree
+    holding the same records (same bounds, same thresholds).
+    """
+    counter = itertools.count()
+    heap: list[tuple[float, int, Any]] = [(0.0, next(counter), tree.root_entry())]
+    best: list[tuple[float, int, tuple[float, ...], Any]] = []
+    pages_visited = 0
+    read = tree.store.read
+    space = tree.space
+    while heap:
+        dist_sq, _, entry = heapq.heappop(heap)
+        if len(best) == k and dist_sq > -best[0][0]:
+            break
+        pages_visited += 1
+        node = read(entry.page)
+        if entry.level == 0:
+            node.accumulate_nearest(query, k, best, counter)
+        else:
+            node.expand_nearest(heap, best, k, query, space, counter)
+    ordered = sorted(
+        (
+            Neighbour(stored, value, math.sqrt(-neg_d))
+            for neg_d, _, stored, value in best
+        ),
+        key=lambda n: n.distance,
+    )
     return KNNResult(neighbours=ordered, pages_visited=pages_visited)

@@ -6,7 +6,7 @@ see that package's docstring for why no byte serialisation is simulated.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import DuplicateKeyError, TreeInvariantError
 from repro.core.entry import Entry
@@ -22,7 +22,7 @@ class IndexNode:
     B-tree, and passed in by the algorithms that need it.
     """
 
-    __slots__ = ("index_level", "entries")
+    __slots__ = ("index_level", "entries", "_keyset")
 
     def __init__(self, index_level: int, entries: Sequence[Entry] = ()):
         if index_level < 1:
@@ -31,6 +31,9 @@ class IndexNode:
             )
         self.index_level = index_level
         self.entries: list[Entry] = list(entries)
+        self._keyset: set[tuple[int, RegionKey]] = {
+            (e.level, e.key) for e in self.entries
+        }
         for entry in self.entries:
             self._check_level(entry)
 
@@ -46,13 +49,20 @@ class IndexNode:
     # ------------------------------------------------------------------
 
     def add(self, entry: Entry) -> None:
-        """Insert an entry (no capacity check — the tree enforces that)."""
+        """Insert an entry (no capacity check — the tree enforces that).
+
+        The duplicate check is set-backed: filling a node of ``n`` entries
+        is O(n), not the O(n²) a linear scan per add would cost (the
+        bulk-load replay and node splits both fill nodes entry by entry;
+        docs/PERFORMANCE.md has the micro-benchmark).
+        """
         self._check_level(entry)
-        for existing in self.entries:
-            if existing.level == entry.level and existing.key == entry.key:
-                raise TreeInvariantError(
-                    f"duplicate level-{entry.level} key {entry.key!r} in node"
-                )
+        token = (entry.level, entry.key)
+        if token in self._keyset:
+            raise TreeInvariantError(
+                f"duplicate level-{entry.level} key {entry.key!r} in node"
+            )
+        self._keyset.add(token)
         self.entries.append(entry)
 
     def remove(self, entry: Entry) -> None:
@@ -61,6 +71,7 @@ class IndexNode:
             self.entries.remove(entry)
         except ValueError:
             raise TreeInvariantError(f"{entry!r} not present in node") from None
+        self._keyset.discard((entry.level, entry.key))
 
     def natives(self) -> list[Entry]:
         """The unpromoted entries (level ``index_level - 1``)."""
@@ -165,6 +176,34 @@ class DataPage:
     def paths(self) -> Iterator[int]:
         """Iterate the bit paths stored in the page."""
         return iter(self.records)
+
+    def extract_block(self, key: RegionKey, path_bits: int) -> "DataPage":
+        """Split out the records inside ``key``'s block into a new page.
+
+        Used by data-page splits; the moved records keep their relative
+        order.  The columnar subclass overrides this with a contiguous
+        slice of its sorted path column.
+        """
+        inner = DataPage()
+        for p in [p for p in self.records if key.contains_path(p, path_bits)]:
+            inner.records[p] = self.records.pop(p)
+        return inner
+
+    def absorb(self, other: "DataPage") -> None:
+        """Take over every record of ``other`` (merge / absorb path)."""
+        self.records.update(other.records)
+
+    def fill_sorted(
+        self, items: Iterable[tuple[int, tuple[float, ...], Any]]
+    ) -> None:
+        """Bulk-append ``(path, point, value)`` records in ascending path
+        order onto an empty page (the bulk loader's contract)."""
+        records = self.records
+        for path, point, value in items:
+            records[path] = (point, value)
+
+    def __contains__(self, path: int) -> bool:
+        return path in self.records
 
     def __len__(self) -> int:
         return len(self.records)

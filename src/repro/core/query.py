@@ -67,6 +67,8 @@ def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
         # below stays exactly as cheap as the seed's (no per-visit
         # branch beyond this single check).
         return _range_query_traced(tree, rect, tracer)
+    if tree.layout == "columnar":
+        return _range_query_columnar(tree, rect)
     result = QueryResult()
     space = tree.space
     bounds = query_cell_bounds(space, rect)
@@ -90,6 +92,40 @@ def range_query(tree: "BVTree", rect: Rect) -> QueryResult:
         else:
             node: IndexNode = read(entry.page)
             stack.extend(node.entries)
+    return result
+
+
+def _range_query_columnar(tree: "BVTree", rect: Rect) -> QueryResult:
+    """The untraced range traversal over columnar pages.
+
+    Same cut-offs and stack discipline as the object loop, but children
+    are filtered *before* the push through the node's cached per-entry
+    origin/end columns (``2*ndim`` integer compares per child, no per-key
+    bit decode), and the per-record box filter runs inline over the flat
+    coordinate column.  Filter-before-push and filter-at-pop visit the
+    same pages in the same order, so every page-access count matches the
+    object layout exactly — the equivalence suite asserts it.
+    """
+    result = QueryResult()
+    space = tree.space
+    bounds = query_cell_bounds(space, rect)
+    root = tree.root_entry()
+    key = root.key
+    if not key_intersects(
+        key.value, key.nbits, space.ndim, space.resolution, bounds
+    ):
+        return result
+    read = tree.store.read
+    records = result.records
+    stack = [root]
+    while stack:
+        entry = stack.pop()
+        result.pages_visited += 1
+        if entry.level == 0:
+            result.data_pages_visited += 1
+            read(entry.page).collect_in_rect(rect, records)
+        else:
+            read(entry.page).push_intersecting(stack, bounds)
     return result
 
 

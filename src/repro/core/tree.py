@@ -21,6 +21,12 @@ from repro.core import bulk as _bulk
 from repro.core import insert as _insert
 from repro.core import delete as _delete
 from repro.core import query as _query
+from repro.core.columnar import (
+    LAYOUTS,
+    ColumnarDataPage,
+    ColumnarIndexNode,
+    locate_columnar,
+)
 from repro.core.descent import Locate, locate
 from repro.core.entry import Entry
 from repro.core.node import DataPage, IndexNode
@@ -68,6 +74,15 @@ class BVTree:
         tracer is disabled (null sink) and the instrumented paths cost a
         single branch.  Attach a sink later with
         ``tree.tracer.attach(...)``.
+    layout:
+        ``"object"`` (default) stores pages as dicts and entry lists;
+        ``"columnar"`` packs them into flat array columns
+        (:mod:`repro.core.columnar`) — same answers, same page-access
+        counts, faster hot loops.  ``None`` defers to the store's
+        preference (:class:`~repro.storage.ColumnarStore` requests
+        columnar pages); both layouts serve every query through the same
+        code paths, which is what makes the object layout usable as a
+        differential oracle for the columnar one.
     """
 
     def __init__(
@@ -79,8 +94,16 @@ class BVTree:
         page_bytes: int = 1024,
         store: Storage | None = None,
         tracer: Tracer | None = None,
+        layout: str | None = None,
     ):
         self.space = space
+        if layout is None:
+            layout = getattr(store, "layout", "object")
+        if layout not in LAYOUTS:
+            raise ReproError(
+                f"unknown page layout {layout!r}; expected one of {LAYOUTS}"
+            )
+        self.layout = layout
         self.policy = CapacityPolicy(
             data_capacity=data_capacity,
             fanout=fanout,
@@ -96,7 +119,7 @@ class BVTree:
         self.stats = OpCounters()
         self.count = 0
         self.height = 0
-        self.root_page = self.store.allocate(DataPage(), size_class=0)
+        self.root_page = self.store.allocate(self.make_data_page(), size_class=0)
         #: Per-level registry of live region keys — the canonical key sets
         #: that define region extents (BANG semantics: a region is its
         #: block minus the blocks of same-level keys nested inside it).
@@ -115,6 +138,26 @@ class BVTree:
     def root_entry(self) -> Entry:
         """The virtual entry for the root (the whole data space)."""
         return Entry(ROOT_KEY, self.height, self.root_page)
+
+    def make_data_page(self) -> DataPage:
+        """An empty data page in this tree's layout."""
+        if self.layout == "columnar":
+            return ColumnarDataPage(self.space.ndim, self.space.path_bits)
+        return DataPage()
+
+    def make_index_node(
+        self, index_level: int, entries: Sequence[Entry] = ()
+    ) -> IndexNode:
+        """An index node in this tree's layout."""
+        if self.layout == "columnar":
+            return ColumnarIndexNode(
+                index_level,
+                entries,
+                ndim=self.space.ndim,
+                resolution=self.space.resolution,
+                path_bits=self.space.path_bits,
+            )
+        return IndexNode(index_level, entries)
 
     def register_entry(self, entry: Entry) -> None:
         """Record a region key in the per-level registry (must be new)."""
@@ -181,8 +224,13 @@ class BVTree:
         tracer = self.tracer
         if not tracer.enabled:
             path = self.space.point_path(point)
-            found = locate(self, path)
-            page: DataPage = self.store.read(found.entry.page)
+            if self.layout == "columnar" and self.height > 0:
+                # Fused column descent, and no Locate/GuardSet wrapper:
+                # get only needs the winning entry.
+                entry = locate_columnar(self, path)[0]
+            else:
+                entry = locate(self, path).entry
+            page: DataPage = self.store.read(entry.page)
             record = page.get(path)
             if record is None:
                 raise KeyNotFoundError(f"no record at {tuple(point)}")
@@ -285,7 +333,7 @@ class BVTree:
         self.merge_retry.clear()
         self.count = 0
         self.height = 0
-        self.root_page = self.store.allocate(DataPage(), size_class=0)
+        self.root_page = self.store.allocate(self.make_data_page(), size_class=0)
 
     def contains(self, point: Sequence[float]) -> bool:
         """True if a record exists at ``point``."""

@@ -37,7 +37,7 @@ class RegionKey:
     is available as :data:`ROOT_KEY`.
     """
 
-    __slots__ = ("nbits", "value")
+    __slots__ = ("nbits", "value", "_bits")
 
     def __init__(self, nbits: int, value: int):
         if nbits < 0:
@@ -171,8 +171,19 @@ class RegionKey:
     # ------------------------------------------------------------------
 
     def bit_string(self) -> str:
-        """The key as a literal bit string (empty for the root)."""
-        return format(self.value, f"0{self.nbits}b") if self.nbits else ""
+        """The key as a literal bit string (empty for the root).
+
+        Memoised on first use: traced descents and EXPLAIN render the
+        same key repeatedly, and the ``format`` call showed up in their
+        profiles.  Keys that never print pay nothing (the slot stays
+        unset until the first call).
+        """
+        try:
+            return self._bits
+        except AttributeError:
+            bits = format(self.value, f"0{self.nbits}b") if self.nbits else ""
+            object.__setattr__(self, "_bits", bits)
+            return bits
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RegionKey):

@@ -73,7 +73,15 @@ class DataSpace:
         partition and are treated as duplicates by the index structures.
     """
 
-    __slots__ = ("bounds", "resolution", "ndim", "path_bits", "_spans", "_rect_cache")
+    __slots__ = (
+        "bounds",
+        "resolution",
+        "ndim",
+        "path_bits",
+        "_spans",
+        "_rect_cache",
+        "_rect_stats",
+    )
 
     #: Capacity of the per-space :meth:`key_rect` decode cache.  Range
     #: and k-NN pruning are bit-native and never hit this cache; it
@@ -108,6 +116,9 @@ class DataSpace:
             self, "_spans", tuple(hi - lo for lo, hi in checked)
         )
         object.__setattr__(self, "_rect_cache", {})
+        # Mutable [hits, misses] holder: the space itself stays immutable,
+        # the counters audit the decode cache (see rect_cache_stats).
+        object.__setattr__(self, "_rect_stats", [0, 0])
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("DataSpace is immutable")
@@ -153,6 +164,30 @@ class DataSpace:
         Bit ``t`` (MSB-first) is bit ``resolution - 1 - t // ndim`` of the
         grid coordinate of dimension ``t % ndim``.
         """
+        # Inlined 2-d happy path: encode is on every get/insert/query,
+        # and the generic grid() tuple + zip costs more than the whole
+        # encode.  Any miss (wrong arity, out of bounds) falls through to
+        # the generic path, which raises the canonical errors.
+        if self.ndim == 2 and len(point) == 2:
+            x0, x1 = point
+            (lo0, hi0), (lo1, hi1) = self.bounds
+            if lo0 <= x0 <= hi0 and lo1 <= x1 <= hi1:
+                res = self.resolution
+                cells = 1 << res
+                s0, s1 = self._spans
+                g0 = int((x0 - lo0) / s0 * cells)
+                g1 = int((x1 - lo1) / s1 * cells)
+                if g0 >= cells:
+                    g0 = cells - 1
+                if g1 >= cells:
+                    g1 = cells - 1
+                if res <= 32:
+                    # One spread pass interleaves both coordinates: bit i
+                    # of the packed word lands at bit 2*i, so the high
+                    # half is spread(g0) << 64 and the low is spread(g1).
+                    w = _spread_bits((g0 << 32) | g1)
+                    return (w >> 63) | (w & 0xFFFFFFFFFFFFFFFF)
+                return (_spread_bits(g0) << 1) | _spread_bits(g1)
         return self.grid_path(self.grid(point))
 
     def grid_path(self, grid: Sequence[int]) -> int:
@@ -204,11 +239,13 @@ class DataSpace:
         cache = self._rect_cache
         cached = cache.get(key)
         if cached is not None:
+            self._rect_stats[0] += 1
             # Refresh recency: dicts iterate in insertion order, so
             # re-inserting implements least-recently-used eviction.
             del cache[key]
             cache[key] = cached
             return cached
+        self._rect_stats[1] += 1
         rect = self.decode_rect(key)
         if len(cache) >= self.KEY_RECT_CACHE_SIZE:
             del cache[next(iter(cache))]
@@ -244,6 +281,25 @@ class DataSpace:
             lows.append(lo + origins[dim] / cells * span)
             highs.append(lo + (origins[dim] + width) / cells * span)
         return Rect(lows, highs)
+
+    def rect_cache_stats(self) -> dict[str, float | int]:
+        """Hit/miss audit of the :meth:`key_rect` decode cache.
+
+        Exposed as ``MetricsRegistry`` gauges in the perf suite's
+        observability block (``repro perf --json``) so a shrinking hit
+        rate — a key working set outgrowing ``KEY_RECT_CACHE_SIZE`` —
+        shows up in the benchmark artifact instead of silently costing
+        decodes.
+        """
+        hits, misses = self._rect_stats
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": len(self._rect_cache),
+            "capacity": self.KEY_RECT_CACHE_SIZE,
+            "hit_ratio": (hits / total) if total else 0.0,
+        }
 
     def whole_rect(self) -> Rect:
         """The rectangle covering the entire space."""

@@ -7,9 +7,10 @@ examples.  Importing this package populates the registry in
 :mod:`repro.lintkit.suppress`, where the suppression machinery lives).
 """
 
-from repro.lintkit.rules import exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly
+from repro.lintkit.rules import columnar, exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly
 
 __all__ = [
+    "columnar",
     "exceptions",
     "exports",
     "fileio",

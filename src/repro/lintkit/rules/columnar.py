@@ -1,0 +1,64 @@
+"""R13 — columnar page columns stay inside ``repro/core/columnar.py``.
+
+The columnar layout packs page state into parallel ``_c_*`` columns
+(sorted path arrays, aligned key intervals, flattened coordinates) whose
+correctness rests on cross-column invariants: every mutation must keep
+the columns the same length, in the same order, and consistent with the
+authoritative ``entries`` list.  Those invariants are maintained by the
+layout's own methods and are invisible at any single call site — code
+elsewhere reaching into ``node._c_nat_aligned`` or ``page._c_paths``
+reads state it cannot know the shape of, and a write would silently
+desynchronise the columns from the entries.
+
+The module owning the columns exposes layout-agnostic methods
+(``insert``/``get``/``extract_block``/``absorb``/``best_native_match``/
+``matching_guards``/``locate_columnar``/…) shared with the object
+layout; everything else goes through those.  This mirrors R12, which
+confines raw file I/O to the two durability modules.
+
+One check: in library files outside ``repro/core/columnar.py``, any
+attribute access (load, store or delete) whose name starts with ``_c_``
+is flagged.  Tests are exempt — the layout's own unit tests assert on
+column state on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, is_library_path
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+#: The only module allowed to touch ``_c_*`` columns.
+SANCTIONED = "repro/core/columnar.py"
+
+
+@register
+class ColumnarColumnAccess(Rule):
+    """Flag ``_c_*`` column access outside the columnar layout module."""
+
+    code = "R13"
+    name = "columnar column access outside repro.core.columnar"
+    fix_hint = (
+        "go through the layout-agnostic page/node methods (insert, get, "
+        "extract_block, absorb, best_native_match, matching_guards, "
+        "locate_columnar, ...); the _c_* columns and their cross-column "
+        "invariants belong to repro/core/columnar.py alone"
+    )
+
+    def applies_to(self, posix: str) -> bool:
+        return is_library_path(posix) and not posix.endswith(SANCTIONED)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr.startswith(
+                "_c_"
+            ):
+                yield self.make(
+                    ctx,
+                    node,
+                    f"access to columnar column {node.attr!r} outside "
+                    f"repro/core/columnar.py",
+                )

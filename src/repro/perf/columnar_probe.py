@@ -1,0 +1,176 @@
+"""The columnar probe: object-vs-columnar lanes plus the layout oracle.
+
+Runs once per ``repro perf`` suite.  It builds two trees over the *same*
+record population — one per page layout — and measures the hot paths the
+columnar layout exists for (descent, range scan, k-NN) plus the update
+paths it must not regress (insert, delete).  Alongside the timings it
+runs the **differential oracle**: every exact-match answer, every range
+result set, every k-NN distance list and every page-visit count must be
+identical across layouts.  A divergence is a correctness bug, not a perf
+artefact, so ``repro perf`` (and the CI perf-smoke lanes) fail on it.
+
+The figures land in the ``columnar`` block of ``BENCH_<suite>.json``:
+
+- ``lanes.{object,columnar}`` — best-of per-op microseconds per path;
+- ``speedups`` — object-best over columnar-best (>1 means columnar wins);
+- ``oracle`` — per-path equality verdicts and an overall ``equal`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.tree import BVTree
+from repro.geometry.rect import Rect
+from repro.geometry.space import DataSpace
+from repro.perf.registry import Scale
+from repro.perf.scenarios import build_context
+from repro.storage import ColumnarStore, PageStore
+
+__all__ = ["columnar_snapshot"]
+
+#: Best-of repeats for the probe's timed loops (capped below the suite's
+#: repeats: the probe times five paths over two lanes, and the oracle
+#: part needs one pass only).
+PROBE_REPEATS = 3
+
+
+def _lane_tree(scale: Scale, space: DataSpace, layout: str) -> BVTree:
+    store = ColumnarStore() if layout == "columnar" else PageStore()
+    return BVTree(
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=store,
+    )
+
+
+def _best(repeats: int, run: Any) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_lane(
+    scale: Scale,
+    space: DataSpace,
+    layout: str,
+    records: list[tuple[tuple[float, ...], Any]],
+    query_points: list[tuple[float, ...]],
+    rects: list[Rect],
+    knn_points: list[tuple[float, ...]],
+    repeats: int,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """``(per-op microseconds, oracle outputs)`` for one layout lane."""
+    # Update paths: a fresh tree per repeat, inserts timed, then the
+    # deletes timed on the tree those inserts produced (so the delete
+    # loop exercises merges on a realistically fragmented tree).
+    insert_best = float("inf")
+    delete_best = float("inf")
+    unique = list({space.point_path(p): p for p, _ in records}.values())
+    for _ in range(repeats):
+        tree = _lane_tree(scale, space, layout)
+        start = time.perf_counter()
+        for point, value in records:
+            tree.insert(point, value, replace=True)
+        insert_best = min(insert_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        for point in unique:
+            tree.delete(point)
+        delete_best = min(delete_best, time.perf_counter() - start)
+
+    # Query paths over one bulk-loaded tree (the layout under test).
+    tree = _lane_tree(scale, space, layout)
+    tree.bulk_load(records, replace=True)
+    get = tree.get
+    nearest = tree.nearest
+    range_query = tree.range_query
+
+    exact_best = _best(
+        repeats, lambda: [get(point) for point in query_points]
+    )
+    range_best = _best(
+        repeats,
+        lambda: [range_query(r.lows, r.highs) for r in rects],
+    )
+    knn_best = _best(
+        repeats, lambda: [nearest(point, k=scale.k) for point in knn_points]
+    )
+
+    # Oracle pass: one untimed sweep collecting comparable outputs.
+    exact_out = [get(point) for point in query_points]
+    range_out = []
+    for rect in rects:
+        result = range_query(rect.lows, rect.highs)
+        range_out.append((result.pages_visited, sorted(result.records)))
+    knn_out = []
+    for point in knn_points:
+        result = nearest(point, k=scale.k)
+        knn_out.append(
+            (result.pages_visited, [n.distance for n in result.neighbours])
+        )
+
+    timings = {
+        "insert_us_per_op": insert_best / len(records) * 1e6,
+        "delete_us_per_op": delete_best / len(unique) * 1e6,
+        "exact_us_per_op": exact_best / len(query_points) * 1e6,
+        "range_us_per_query": range_best / len(rects) * 1e6,
+        "knn_us_per_query": knn_best / len(knn_points) * 1e6,
+    }
+    oracle = {"exact": exact_out, "range": range_out, "knn": knn_out}
+    return timings, oracle
+
+
+def columnar_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``columnar`` block of a ``BENCH_<suite>.json`` snapshot."""
+    # The fixtures come from the shared scenario builder at an
+    # object-layout copy of the scale, so both lanes see the exact same
+    # records and query sets regardless of what layout the suite ran on.
+    from dataclasses import replace
+
+    context = build_context(replace(scale, layout="object"))
+    space = context.space
+    repeats = min(scale.repeats, PROBE_REPEATS)
+
+    lanes: dict[str, dict[str, float]] = {}
+    oracles: dict[str, dict[str, Any]] = {}
+    for layout in ("object", "columnar"):
+        lanes[layout], oracles[layout] = _measure_lane(
+            scale,
+            space,
+            layout,
+            context.records,
+            context.query_points,
+            context.rects,
+            context.knn_points,
+            repeats,
+        )
+
+    obj, col = oracles["object"], oracles["columnar"]
+    oracle = {
+        "exact_equal": obj["exact"] == col["exact"],
+        "range_equal": obj["range"] == col["range"],
+        "knn_equal": obj["knn"] == col["knn"],
+    }
+    oracle["equal"] = all(oracle.values())
+
+    o, c = lanes["object"], lanes["columnar"]
+    speedups = {
+        "exact_match": o["exact_us_per_op"] / c["exact_us_per_op"],
+        "range": o["range_us_per_query"] / c["range_us_per_query"],
+        "knn": o["knn_us_per_query"] / c["knn_us_per_query"],
+        # Update-path ratios: columnar over object, the <= 1.2x budget.
+        "insert_ratio": c["insert_us_per_op"] / o["insert_us_per_op"],
+        "delete_ratio": c["delete_us_per_op"] / o["delete_us_per_op"],
+    }
+    return {
+        "probe_points": scale.n_points,
+        "repeats": repeats,
+        "lanes": lanes,
+        "speedups": speedups,
+        "oracle": oracle,
+    }

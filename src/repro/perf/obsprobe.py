@@ -36,7 +36,7 @@ from repro.obs import (
     run_doctor,
 )
 from repro.perf.registry import Scale
-from repro.storage import BufferPool, PageStore
+from repro.storage import BufferPool, ColumnarStore, PageStore
 from repro.workloads import churn, nested_hotspot, uniform
 
 __all__ = ["health_snapshot", "observability_snapshot"]
@@ -53,12 +53,16 @@ def _probe_tree(scale: Scale) -> tuple[BVTree, list[tuple[float, ...]]]:
     space = DataSpace.unit(scale.dims, resolution=scale.resolution)
     n = min(scale.n_points, PROBE_POINTS)
     points = [tuple(p) for p in uniform(n, scale.dims, seed=scale.seed)]
-    pool = BufferPool(PageStore(), capacity=256)
+    backing = (
+        ColumnarStore() if scale.layout == "columnar" else PageStore()
+    )
+    pool = BufferPool(backing, capacity=256)
     tree = BVTree(
         space,
         data_capacity=scale.data_capacity,
         fanout=scale.fanout,
         store=pool,
+        layout=scale.layout,
     )
     return tree, points
 
@@ -78,7 +82,16 @@ def _traced_metrics(scale: Scale) -> dict[str, Any]:
     for point in points[: min(len(points), 10)]:
         tree.nearest(point, k=scale.k)
     tree.tracer.detach()
-    return sink.snapshot()
+    snapshot = sink.snapshot()
+    # The key_rect decode-cache audit rides along as plain gauges so the
+    # hit rate is visible in ``repro perf --json`` without a tracer tap
+    # (the cache sits below the event stream).
+    for stat, value in tree.space.rect_cache_stats().items():
+        snapshot[f"space.key_rect_cache.{stat}"] = {
+            "type": "gauge",
+            "value": value,
+        }
+    return snapshot
 
 
 def _overhead(scale: Scale) -> dict[str, Any]:
@@ -183,7 +196,12 @@ def health_snapshot(scale: Scale) -> dict[str, Any]:
     """
     space = DataSpace.unit(scale.dims, resolution=scale.resolution)
     tree = BVTree(
-        space, data_capacity=scale.data_capacity, fanout=scale.fanout
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=(
+            ColumnarStore() if scale.layout == "columnar" else PageStore()
+        ),
     )
     # Churn tracks live points by float tuple, the tree by the leading
     # resolution bits: dense hotspot populations collide in those bits

@@ -49,6 +49,9 @@ class Scale:
     seed: int = 0
     repeats: int = 5
     warmup: int = 1
+    #: Page layout the timed cases run on ("object" or "columnar"); the
+    #: columnar probe always builds both lanes regardless.
+    layout: str = "object"
 
     def to_dict(self) -> dict[str, Any]:
         """The scale as a JSON-ready mapping (recorded in every result)."""

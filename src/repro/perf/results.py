@@ -105,6 +105,11 @@ class SuiteResult:
     #: (:func:`repro.perf.durability.durability_snapshot`).  Additive
     #: like the two blocks above: absent in older snapshots.
     durability: dict[str, Any] = field(default_factory=dict)
+    #: Object-vs-columnar lane timings, speedups and the layout-oracle
+    #: verdicts from the columnar probe
+    #: (:func:`repro.perf.columnar_probe.columnar_snapshot`).  Additive
+    #: like the blocks above: absent in older snapshots.
+    columnar: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -124,6 +129,7 @@ class SuiteResult:
             "observability": self.observability,
             "health": self.health,
             "durability": self.durability,
+            "columnar": self.columnar,
         }
 
     def to_json(self) -> str:
@@ -152,6 +158,7 @@ class SuiteResult:
             observability=dict(data.get("observability", {})),
             health=dict(data.get("health", {})),
             durability=dict(data.get("durability", {})),
+            columnar=dict(data.get("columnar", {})),
         )
 
     @classmethod

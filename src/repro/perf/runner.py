@@ -20,6 +20,7 @@ from typing import Any, Callable
 from repro.errors import ReproError
 from repro.bench.reporting import format_table
 from repro.perf import scenarios
+from repro.perf.columnar_probe import columnar_snapshot
 from repro.perf.durability import durability_snapshot
 from repro.perf.obsprobe import health_snapshot, observability_snapshot
 from repro.perf.registry import REGISTRY, Scale
@@ -90,6 +91,7 @@ def run_suite(
     obs: dict[str, Any] = {}
     health: dict[str, Any] = {}
     durability: dict[str, Any] = {}
+    columnar: dict[str, Any] = {}
     if observability:
         if progress is not None:
             progress("observability probe")
@@ -100,6 +102,9 @@ def run_suite(
         if progress is not None:
             progress("durability probe (WAL overhead + crash recovery)")
         durability = durability_snapshot(scale)
+        if progress is not None:
+            progress("columnar probe (layout lanes + oracle)")
+        columnar = columnar_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -110,6 +115,7 @@ def run_suite(
         observability=obs,
         health=health,
         durability=durability,
+        columnar=columnar,
     )
 
 
@@ -176,6 +182,8 @@ def render_text(
         blocks.append(_render_health(result.health))
     if result.durability:
         blocks.append(_render_durability(result.durability))
+    if result.columnar:
+        blocks.append(_render_columnar(result.columnar))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -339,6 +347,51 @@ def _render_durability(durability: dict[str, Any]) -> str:
         title=(
             f"durability probe (n={durability.get('probe_points')}, "
             f"WAL vs in-memory)"
+        ),
+    )
+
+
+def _render_columnar(columnar: dict[str, Any]) -> str:
+    """The columnar-probe block of the text report."""
+    rows: list[list[Any]] = []
+    lanes = columnar.get("lanes", {})
+    labels = [
+        ("exact_us_per_op", "exact match", "us/op"),
+        ("range_us_per_query", "range query", "us/query"),
+        ("knn_us_per_query", "k-NN query", "us/query"),
+        ("insert_us_per_op", "insert", "us/op"),
+        ("delete_us_per_op", "delete", "us/op"),
+    ]
+    obj = lanes.get("object", {})
+    col = lanes.get("columnar", {})
+    for key, label, unit in labels:
+        if key in obj and key in col:
+            rows.append([
+                label,
+                f"object {obj[key]:.2f} / columnar {col[key]:.2f} {unit}",
+            ])
+    speedups = columnar.get("speedups", {})
+    for key in ("exact_match", "range", "knn"):
+        if key in speedups:
+            rows.append([f"speedup: {key}", f"{speedups[key]:.2f}x"])
+    for key in ("insert_ratio", "delete_ratio"):
+        if key in speedups:
+            rows.append([
+                f"update cost: {key}",
+                f"{speedups[key]:.2f}x (budget 1.20x)",
+            ])
+    oracle = columnar.get("oracle", {})
+    if oracle:
+        rows.append([
+            "layout oracle",
+            "EQUAL" if oracle.get("equal") else "DIVERGED",
+        ])
+    return format_table(
+        ["columnar probe", "value"],
+        rows,
+        title=(
+            f"columnar probe (n={columnar.get('probe_points')}, "
+            f"object vs columnar lanes)"
         ),
     )
 

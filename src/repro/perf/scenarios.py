@@ -29,10 +29,14 @@ from repro.core.tree import BVTree
 from repro.geometry.rect import Rect
 from repro.geometry.space import DataSpace
 from repro.perf.registry import Case, Scale, benchmark
-from repro.storage import BufferPool, PageStore
+from repro.storage import BufferPool, ColumnarStore, PageStore
 from repro.workloads import uniform
 
 __all__ = ["SuiteContext", "build_context"]
+
+
+def _make_store(scale: Scale) -> PageStore:
+    return ColumnarStore() if scale.layout == "columnar" else PageStore()
 
 
 @dataclass
@@ -54,7 +58,10 @@ class SuiteContext:
 
 def _make_tree(scale: Scale, space: DataSpace) -> BVTree:
     return BVTree(
-        space, data_capacity=scale.data_capacity, fanout=scale.fanout
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=_make_store(scale),
     )
 
 
@@ -230,12 +237,13 @@ def _knn_case(scale: Scale, ctx: SuiteContext) -> Case:
 def _buffered_get_case(scale: Scale, ctx: SuiteContext) -> Case:
     # Built once (reads do not mutate); sized so the working set mostly
     # fits, making the timed loop dominated by the read() hit path.
-    pool = BufferPool(PageStore(), capacity=1024)
+    pool = BufferPool(_make_store(scale), capacity=1024)
     tree = BVTree(
         ctx.space,
         data_capacity=scale.data_capacity,
         fanout=scale.fanout,
         store=pool,
+        layout=scale.layout,
     )
     tree.bulk_load(ctx.records, replace=True)
     for point in ctx.query_points:

@@ -45,6 +45,7 @@ import json
 import struct
 from typing import Any
 
+from repro.core.columnar import ColumnarDataPage, ColumnarIndexNode
 from repro.core.entry import Entry
 from repro.core.node import DataPage, IndexNode
 from repro.errors import WalCorruptionError
@@ -94,15 +95,23 @@ def encode_content(content: Any) -> dict[str, Any]:
         records = content.records
         paths = list(records)
         dims, pts = _pack_points([records[p][0] for p in paths])
-        return {
+        payload = {
             "k": "data",
             "d": dims,
             "p": paths,
             "v": [records[p][1] for p in paths],
             "pts": pts,
         }
+        if isinstance(content, ColumnarDataPage):
+            # The layout tag plus the construction parameters ``d``
+            # cannot carry (an empty page has no points to infer them
+            # from) let recovery rebuild the same subclass.
+            payload["c"] = 1
+            payload["nd"] = content.ndim
+            payload["pb"] = content.path_bits
+        return payload
     if isinstance(content, IndexNode):
-        return {
+        payload = {
             "k": "index",
             "lvl": content.index_level,
             "entries": [
@@ -110,6 +119,12 @@ def encode_content(content: Any) -> dict[str, Any]:
                 for entry in content.entries
             ],
         }
+        if isinstance(content, ColumnarIndexNode):
+            payload["c"] = 1
+            payload["nd"] = content.ndim
+            payload["res"] = content.resolution
+            payload["pb"] = content.path_bits
+        return payload
     return {"k": "raw", "v": content}
 
 
@@ -119,7 +134,10 @@ def decode_content(data: dict[str, Any]) -> Any:
     if kind == "none":
         return None
     if kind == "data":
-        page = DataPage()
+        if data.get("c"):
+            page: DataPage = ColumnarDataPage(data["nd"], data["pb"])
+        else:
+            page = DataPage()
         paths = data["p"]
         values = data["v"]
         if len(paths) != len(values):
@@ -131,9 +149,20 @@ def decode_content(data: dict[str, Any]) -> Any:
             page.insert(path, point, value)
         return page
     if kind == "index":
-        node = IndexNode(data["lvl"])
+        if data.get("c"):
+            node: IndexNode = ColumnarIndexNode(
+                data["lvl"],
+                ndim=data["nd"],
+                resolution=data["res"],
+                path_bits=data["pb"],
+            )
+        else:
+            node = IndexNode(data["lvl"])
         for bits, level, page_id in data["entries"]:
-            node.entries.append(Entry(RegionKey.from_bits(bits), level, page_id))
+            # Through add(), not a raw entries.append: add keeps the
+            # node's duplicate-key set (and the columnar side columns)
+            # consistent with the entry list.
+            node.add(Entry(RegionKey.from_bits(bits), level, page_id))
         return node
     if kind == "raw":
         return data["v"]
@@ -268,13 +297,13 @@ def apply_data_delta(content: Any, payload: dict[str, Any]) -> DataPage:
         )
     points = _unpack_points(payload["d"], payload["pts"], len(paths))
     for path, point, value in zip(paths, points, values):
-        content.records[path] = (point, value)
+        content.insert(path, point, value, replace=True)
     for path in payload["r"]:
-        if path not in content.records:
+        if path not in content:
             raise WalCorruptionError(
                 f"delta removes path {path} absent from the page"
             )
-        del content.records[path]
+        content.delete(path)
     return content
 
 

@@ -312,13 +312,15 @@ def create_durable_tree(
     fanout: int = 16,
     policy: str = "scaled",
     page_bytes: int = 1024,
+    layout: str = "object",
     faults: FaultPlan | None = None,
     sync: str = "commit",
 ) -> BVTree:
     """A fresh BV-tree over a fresh durable store in ``directory``.
 
-    The tree's geometry and policy are persisted as durable metadata so
-    :func:`open_durable_tree` can rebuild the same tree after a crash.
+    The tree's geometry, policy and page layout are persisted as durable
+    metadata so :func:`open_durable_tree` can rebuild the same tree after
+    a crash.
     """
     store = DurableStore(directory, page_bytes, faults=faults, sync=sync)
     store.set_meta("__page_bytes__", page_bytes)
@@ -335,6 +337,7 @@ def create_durable_tree(
                 "kind": policy,
                 "page_bytes": page_bytes,
             },
+            "layout": layout,
         },
     )
     return BVTree(
@@ -344,6 +347,7 @@ def create_durable_tree(
         policy=policy,
         page_bytes=page_bytes,
         store=store,
+        layout=layout,
     )
 
 
@@ -375,6 +379,8 @@ def rebuild_tree(store: DurableStore) -> BVTree:
         policy=policy["kind"],
         page_bytes=policy["page_bytes"],
         store=store,
+        # Metadata written before the layout field existed is object-layout.
+        layout=tree_meta.get("layout", "object"),
     )
     if not existing:
         return tree  # the store was empty; keep the fresh root

@@ -23,7 +23,7 @@ from repro.core.node import DataPage, IndexNode
 from repro.core.tree import BVTree
 from repro.geometry.region import RegionKey
 from repro.geometry.space import DataSpace
-from repro.storage.pager import PageStore
+from repro.storage.pager import ColumnarStore, PageStore
 
 FORMAT_VERSION = 1
 
@@ -78,6 +78,7 @@ def dump_tree(tree: BVTree, fp: IO[str]) -> None:
             "kind": tree.policy.kind,
             "page_bytes": tree.policy.page_bytes,
         },
+        "layout": tree.layout,
         "height": tree.height,
         "root_page": tree.root_page,
         "count": tree.count,
@@ -117,13 +118,16 @@ def _from_snapshot(snapshot: dict[str, Any]) -> BVTree:
         resolution=snapshot["space"]["resolution"],
     )
     policy = snapshot["policy"]
+    # Older snapshots predate the layout field; they are object-layout.
+    layout = snapshot.get("layout", "object")
+    store_cls = ColumnarStore if layout == "columnar" else PageStore
     tree = BVTree(
         space,
         data_capacity=policy["data_capacity"],
         fanout=policy["fanout"],
         policy=policy["kind"],
         page_bytes=policy["page_bytes"],
-        store=PageStore(policy["page_bytes"]),
+        store=store_cls(policy["page_bytes"]),
     )
     tree.store.free(tree.root_page)  # replace the fresh root
 
@@ -132,16 +136,15 @@ def _from_snapshot(snapshot: dict[str, Any]) -> BVTree:
     index_nodes: list[tuple[dict[str, Any], IndexNode]] = []
     for page in snapshot["pages"]:
         if page["kind"] == "data":
-            content = DataPage()
+            content = tree.make_data_page()
             for record in page["records"]:
                 point = tuple(record["point"])
-                content.records[space.point_path(point)] = (
-                    point,
-                    record["value"],
+                content.insert(
+                    space.point_path(point), point, record["value"], replace=True
                 )
             id_map[page["id"]] = tree.alloc_data_page(content)
         elif page["kind"] == "index":
-            node = IndexNode(page["index_level"])
+            node = tree.make_index_node(page["index_level"])
             index_nodes.append((page, node))
             id_map[page["id"]] = tree.alloc_index_node(node)
         else:

@@ -1,0 +1,200 @@
+"""Unit tests of the columnar page layout (:mod:`repro.core.columnar`).
+
+The differential property suite
+(``tests/properties/test_columnar_equivalence.py``) proves whole-tree
+equivalence with the object layout; these tests pin down the column
+mechanics directly — sorted-order maintenance, contiguous block
+extraction, guard/native column bookkeeping — plus the layout selection
+plumbing on the tree and store.
+"""
+
+import pytest
+
+from repro.core.columnar import (
+    LAYOUTS,
+    ColumnarDataPage,
+    ColumnarIndexNode,
+    locate_columnar,
+)
+from repro.core.descent import locate
+from repro.core.entry import Entry
+from repro.core.tree import BVTree
+from repro.errors import DuplicateKeyError, ReproError, TreeInvariantError
+from repro.geometry.region import RegionKey
+from repro.geometry.space import DataSpace
+from repro.storage.pager import ColumnarStore, PageStore
+
+
+def make_page(records=(), ndim=2, path_bits=8):
+    page = ColumnarDataPage(ndim, path_bits)
+    for path, point, value in records:
+        page.insert(path, point, value)
+    return page
+
+
+class TestColumnarDataPage:
+    def test_insert_keeps_paths_sorted(self):
+        page = make_page()
+        for path in (9, 3, 200, 40, 7):
+            page.insert(path, (0.1, 0.2), path)
+        assert list(page.paths()) == [3, 7, 9, 40, 200]
+        assert len(page) == 5
+
+    def test_duplicate_raises_unless_replace(self):
+        page = make_page([(5, (0.1, 0.2), "a")])
+        with pytest.raises(DuplicateKeyError):
+            page.insert(5, (0.1, 0.2), "b")
+        page.insert(5, (0.3, 0.4), "b", replace=True)
+        assert page.get(5) == ((0.3, 0.4), "b")
+        assert len(page) == 1
+
+    def test_get_delete_contains(self):
+        page = make_page([(5, (0.1, 0.2), "a"), (9, (0.5, 0.6), "b")])
+        assert 5 in page and 9 in page and 7 not in page
+        assert page.get(7) is None
+        assert page.delete(5) == ((0.1, 0.2), "a")
+        assert 5 not in page
+        with pytest.raises(KeyError):
+            page.delete(5)
+        assert list(page.paths()) == [9]
+
+    def test_records_view_is_read_only_and_ordered(self):
+        page = make_page([(9, (0.5, 0.6), "b"), (5, (0.1, 0.2), "a")])
+        view = page.records
+        assert list(view) == [5, 9]
+        assert view[5] == ((0.1, 0.2), "a")
+        with pytest.raises(TypeError):
+            view[7] = ((0.0, 0.0), "c")
+
+    def test_extract_block_is_a_contiguous_slice(self):
+        # Paths 0b00xxxxxx .. 0b11xxxxxx; extract the '10' block.
+        page = make_page(
+            [(p, (p / 256, 0.0), p) for p in (10, 100, 130, 150, 180, 220)]
+        )
+        inner = page.extract_block(RegionKey(2, 0b10), path_bits=8)
+        assert list(inner.paths()) == [130, 150, 180]
+        assert list(page.paths()) == [10, 100, 220]
+        assert inner.get(150) == ((150 / 256, 0.0), 150)
+
+    def test_absorb_merges_disjoint_blocks(self):
+        outer = make_page([(p, (0.0, 0.0), p) for p in (10, 220)])
+        inner = make_page([(p, (0.0, 0.0), p) for p in (130, 150)])
+        outer.absorb(inner)
+        assert list(outer.paths()) == [10, 130, 150, 220]
+
+    def test_fill_sorted_bulk_append(self):
+        page = make_page()
+        page.fill_sorted(
+            (p, (p / 256, 0.5), p * 2) for p in (3, 40, 200)
+        )
+        assert list(page.paths()) == [3, 40, 200]
+        assert page.get(40) == ((40 / 256, 0.5), 80)
+
+
+def make_node(entries=(), index_level=1, path_bits=8):
+    return ColumnarIndexNode(
+        index_level, entries, ndim=2, resolution=4, path_bits=path_bits
+    )
+
+
+class TestColumnarIndexNode:
+    def test_add_remove_keep_columns_in_step(self):
+        native = Entry(RegionKey(2, 0b10), 0, page=7)
+        nested = Entry(RegionKey(4, 0b1011), 0, page=8)
+        node = make_node([native, nested])
+        assert node.native_count() == 2
+        # Longest prefix wins for a path inside the nested block.
+        assert node.best_native_match(0b10110001, 8) is nested
+        assert node.best_native_match(0b10000001, 8) is native
+        assert node.best_native_match(0b11000000, 8) is None
+        node.remove(nested)
+        assert node.native_count() == 1
+        assert node.best_native_match(0b10110001, 8) is native
+
+    def test_short_search_paths_skip_longer_natives(self):
+        nested = Entry(RegionKey(4, 0b1011), 0, page=8)
+        node = make_node([nested])
+        # A 2-bit search path cannot match a 4-bit native key.
+        assert node.best_native_match(0b10, 2) is None
+        assert node.best_native_match(0b1011, 4) is nested
+
+    def test_guard_columns_and_matching(self):
+        node = make_node(index_level=2, path_bits=8)
+        native = Entry(RegionKey(1, 0b0), 1, page=3)
+        guard = Entry(RegionKey(2, 0b00), 0, page=4)
+        node.add(native)
+        node.add(guard)
+        assert node.guard_count() == 1
+        assert node.matching_guards(0b00110000, 8) == [guard]
+        assert node.matching_guards(0b01110000, 8) == []
+        # Guards longer than the search path never match.
+        assert node.matching_guards(0b0, 1) == []
+        node.remove(guard)
+        assert node.matching_guards(0b00110000, 8) == []
+
+    def test_remove_missing_entry_raises(self):
+        node = make_node()
+        with pytest.raises(TreeInvariantError):
+            node.remove(Entry(RegionKey(1, 0), 0, page=9))
+
+
+class TestLayoutSelection:
+    def test_columnar_store_implies_columnar_layout(self):
+        tree = BVTree(DataSpace.unit(2, resolution=8), store=ColumnarStore())
+        assert tree.layout == "columnar"
+        assert isinstance(tree.store.read(tree.root_page), ColumnarDataPage)
+
+    def test_explicit_flag_overrides_plain_store(self):
+        tree = BVTree(
+            DataSpace.unit(2, resolution=8),
+            store=PageStore(),
+            layout="columnar",
+        )
+        assert tree.layout == "columnar"
+        assert isinstance(tree.store.read(tree.root_page), ColumnarDataPage)
+
+    def test_default_is_object(self):
+        tree = BVTree(DataSpace.unit(2, resolution=8))
+        assert tree.layout == "object"
+        assert not isinstance(tree.store.read(tree.root_page), ColumnarDataPage)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ReproError):
+            BVTree(DataSpace.unit(2, resolution=8), layout="rowwise")
+
+    def test_layouts_constant(self):
+        assert LAYOUTS == ("object", "columnar")
+
+
+class TestLocateColumnar:
+    def make_tree(self, n=300):
+        space = DataSpace.unit(2, resolution=8)
+        tree = BVTree(
+            space, data_capacity=4, fanout=4, store=ColumnarStore()
+        )
+        for i in range(n):
+            tree.insert(
+                ((i * 37 % 256) / 256, (i * 101 % 256) / 256), i, replace=True
+            )
+        assert tree.height > 0
+        return tree
+
+    def test_matches_generic_locate(self):
+        tree = self.make_tree()
+        for i in range(0, 300, 7):
+            point = ((i * 37 % 256) / 256, (i * 101 % 256) / 256)
+            path = tree.space.point_path(point)
+            found = locate(tree, path)
+            entry, owner, guard_map, max_guards = locate_columnar(tree, path)
+            assert entry is found.entry
+            assert owner == found.owner_page
+            assert max_guards == found.max_guard_set
+            surviving = {
+                lvl: found.guards.peek(lvl) for lvl in found.guards.levels()
+            }
+            assert guard_map == surviving
+
+    def test_index_nodes_are_columnar(self):
+        tree = self.make_tree()
+        root = tree.store.read(tree.root_page)
+        assert isinstance(root, ColumnarIndexNode)

@@ -128,3 +128,38 @@ class TestPlacementWalkIntegration:
                     f"{child!r} stored in {entry.page}, walk says {target}"
                 )
                 stack.append(child)
+
+
+class TestPromotionReplacementOrder:
+    """Regression: promoted entries must be re-placed highest level first.
+
+    Found by the hypothesis model suite: when an index split promotes
+    both a native and a lower-level guard, re-placing the guard before
+    the higher-level entry demotes it along a path that stops existing
+    once the higher-level entry returns — a later owner descent then
+    falls through to level 0 without finding the entry.  The sequence
+    below (shrunk from the falsifying example) builds exactly that
+    promoted pair; it corrupts the tree when ``split_index_node`` or
+    ``_demote_unjustified`` re-place in ascending level order.
+    """
+
+    CELLS = [
+        (314, 0), (641, 0), (0, 1007), (0, 200), (479, 0), (331, 389),
+        (350, 0), (0, 400), (0, 35), (114, 0), (557, 0), (0, 181),
+        (693, 512), (0, 311), (431, 0), (0, 266), (0, 435), (512, 0),
+        (397, 0), (0, 2), (510, 512), (514, 0), (0, 515), (513, 0),
+        (0, 1), (0, 514), (0, 513), (256, 256), (0, 512), (385, 0),
+        (384, 0), (0, 0), (0, 384),
+    ]
+
+    @pytest.mark.parametrize("layout", ["object", "columnar"])
+    def test_shrunk_falsifying_sequence(self, layout):
+        from repro.geometry.space import DataSpace
+
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4, layout=layout)
+        for i, cell in enumerate(self.CELLS):
+            tree.insert((cell[0] / 1024, cell[1] / 1024), i, replace=True)
+        for i, cell in enumerate(self.CELLS):
+            assert tree.get((cell[0] / 1024, cell[1] / 1024)) is not None
+        tree.check(check_owners=True, check_occupancy=False)

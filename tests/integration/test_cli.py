@@ -98,6 +98,27 @@ class TestPerf:
         data = json.loads(capsys.readouterr().out)
         assert [r["name"] for r in data["results"]] == ["exact_match"]
 
+    def test_columnar_lane_reports_oracle_equal(self, capsys):
+        assert main(
+            PERF_TINY + ["--no-write", "--layout", "columnar", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scale"]["layout"] == "columnar"
+        block = data["columnar"]
+        assert block["oracle"]["equal"] is True
+        assert block["oracle"]["exact_equal"] is True
+        assert block["oracle"]["range_equal"] is True
+        assert block["oracle"]["knn_equal"] is True
+        assert block["speedups"]["exact_match"] > 0
+        assert set(block["lanes"]) == {"object", "columnar"}
+
+    def test_columnar_block_rendered_in_text(self, capsys):
+        assert main(PERF_TINY + ["--no-write"]) == 0
+        out = capsys.readouterr().out
+        assert "columnar" in out
+        assert "layout oracle" in out
+        assert "EQUAL" in out
+
     def test_baseline_comparison(self, capsys, tmp_path):
         snapshot = tmp_path / "base.json"
         assert main(PERF_TINY + ["--out", str(snapshot)]) == 0
@@ -217,6 +238,15 @@ class TestDoctor:
         assert set(data["health"]["verdicts"]) == {
             "occupancy", "height", "no_cascade",
         }
+        assert data["exit_code"] == 0
+
+    def test_columnar_layout_passes_all_guarantees(self, capsys):
+        assert main(
+            DOCTOR_TINY + ["--layout", "columnar", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["health"]["ok"] is True
+        assert data["audit"]["clean"] is True
         assert data["exit_code"] == 0
 
     def test_series_out_writes_columnar_artifact(self, capsys, tmp_path):

@@ -655,3 +655,65 @@ class TestR12StorageFileIO:
             """,
         )
         assert "R12" not in codes(findings)
+
+
+class TestR13ColumnarColumns:
+    def test_flags_column_read_in_library(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/descent.py",
+            """
+            def peek(node):
+                return node._c_nat_aligned[0]
+            """,
+        )
+        assert codes(findings) == ["R13"]
+
+    def test_flags_column_write_in_library(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/snapshot.py",
+            """
+            def clobber(page):
+                page._c_paths = []
+            """,
+        )
+        assert codes(findings) == ["R13"]
+
+    def test_flags_guard_columns_too(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/query.py",
+            """
+            def guards(node):
+                return list(node._c_g_entries)
+            """,
+        )
+        assert codes(findings) == ["R13"]
+
+    def test_columnar_module_is_sanctioned(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/columnar.py",
+            """
+            def paths(page):
+                return list(page._c_paths)
+            """,
+        )
+        assert "R13" not in codes(findings)
+
+    def test_other_private_attributes_are_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/descent.py",
+            """
+            def size(guards):
+                return len(guards._by_level)
+            """,
+        )
+        assert "R13" not in codes(findings)
+
+    def test_tests_are_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/tests/core/test_columnar.py",
+            """
+            def column_lengths(node):
+                return len(node._c_nat_aligned), len(node._c_g_aligned)
+            """,
+        )
+        assert "R13" not in codes(findings)

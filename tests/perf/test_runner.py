@@ -67,6 +67,7 @@ class TestRunSuite:
             "observability probe",
             "health probe (guarantee doctor)",
             "durability probe (WAL overhead + crash recovery)",
+            "columnar probe (layout lanes + oracle)",
         ]
 
     def test_progress_without_observability(self):
