@@ -59,6 +59,27 @@ events = read_jsonl(sys.argv[1])
 assert events, "obs smoke produced an empty trace"
 PY
 rm -f "$obs_trace"
+# The dashboard must drive a full stream in --once mode with all three
+# artifact sinks on, the Prometheus exposition must pass the in-tree
+# lint, and the slow-op records must carry valid EXPLAIN attachments.
+top_prom="${TMPDIR:-/tmp}/repro-top-smoke.prom"
+top_slow="${TMPDIR:-/tmp}/repro-top-smoke-slow.jsonl"
+python -m repro top --once --n 2000 --slow-ms 0 \
+    --prom-out "$top_prom" --slow-out "$top_slow" >/dev/null
+python - "$top_prom" "$top_slow" <<'PY'
+import json, sys
+from repro.obs import lint_prometheus
+text = open(sys.argv[1]).read()
+problems = lint_prometheus(text)
+assert not problems, f"top exposition failed promtext lint: {problems}"
+assert "repro_profile_get_latency_us_count" in text
+slow = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert slow, "slow-ms 0 captured no slow ops"
+explained = [r for r in slow if "explain" in r]
+assert explained, "no slow query carried an EXPLAIN attachment"
+assert all(r["explain"]["pages_touched"] >= 1 for r in explained)
+PY
+rm -f "$top_prom" "$top_slow"
 
 echo "== durability smoke =="
 # Build a durable store that dies at an injected torn-tail crash, then

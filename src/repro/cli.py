@@ -11,6 +11,7 @@
     python -m repro explain --point 0.3 0.7    # what would this query do?
     python -m repro trace --out trace.jsonl    # record a traced workload
     python -m repro doctor --workload storm    # score the paper guarantees
+    python -m repro top --once                 # live cost/health dashboard
     python -m repro recover state/             # replay a WAL, rebuild the tree
 """
 
@@ -271,64 +272,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # analysis subcommands never need.
     import random
 
-    from repro.core.tree import BVTree
-    from repro.obs import JsonlSink, RingSink
+    from repro.obs import EVENT_KINDS, JsonlSink, RingSink, read_jsonl
 
-    space = DataSpace.unit(args.dims, resolution=18)
-    points = [
-        tuple(p)
-        for p in WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
-    ]
-    tree = BVTree(
-        space,
-        data_capacity=args.data_capacity,
-        fanout=args.fanout,
-        policy=args.policy,
-    )
-    sink = (
-        JsonlSink(args.out) if args.out else RingSink(capacity=args.ring)
-    )
-    tree.tracer.attach(sink)
-    # A mixed workload: build incrementally (splits, promotions), then a
-    # read slice and a delete slice so every event family shows up.
-    rng = random.Random(args.seed)
-    for i, point in enumerate(points):
-        tree.insert(point, i, replace=True)
-    for point in rng.sample(points, min(len(points), args.n // 10 or 1)):
-        tree.get(point)
-    for point in rng.sample(points, min(len(points), args.n // 20 or 1)):
-        tree.delete(point)
-    tree.tracer.detach()
+    kinds = set(args.kind or [])
+    unknown = kinds - set(EVENT_KINDS)
+    if unknown:
+        print(
+            f"trace: unknown event kind(s): {', '.join(sorted(unknown))}; "
+            f"expected one of: {', '.join(sorted(EVENT_KINDS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    tree = None
+    sink: JsonlSink | RingSink | None = None
+    if args.input:
+        # Analyse an existing capture instead of recording a new one.
+        events = read_jsonl(args.input)
+        title = f"trace {args.input}"
+    else:
+        from repro.core.tree import BVTree
+
+        space = DataSpace.unit(args.dims, resolution=18)
+        points = [
+            tuple(p)
+            for p in WORKLOADS[args.workload](
+                args.n, args.dims, seed=args.seed
+            )
+        ]
+        tree = BVTree(
+            space,
+            data_capacity=args.data_capacity,
+            fanout=args.fanout,
+            policy=args.policy,
+        )
+        sink = (
+            JsonlSink(args.out) if args.out else RingSink(capacity=args.ring)
+        )
+        tree.tracer.attach(sink)
+        # A mixed workload: build incrementally (splits, promotions),
+        # then a read slice and a delete slice so every event family
+        # shows up.
+        rng = random.Random(args.seed)
+        for i, point in enumerate(points):
+            tree.insert(point, i, replace=True)
+        for point in rng.sample(points, min(len(points), args.n // 10 or 1)):
+            tree.get(point)
+        for point in rng.sample(points, min(len(points), args.n // 20 or 1)):
+            tree.delete(point)
+        tree.tracer.detach()
+        if isinstance(sink, JsonlSink):
+            sink.close()
+            events = read_jsonl(args.out)
+        else:
+            events = sink.events()
+        title = (
+            f"traced {args.workload} workload "
+            f"(n={args.n}, {args.dims}-d, P={args.data_capacity}, "
+            f"F={args.fanout})"
+        )
+
+    total = len(events)
+    if kinds:
+        events = [event for event in events if event.kind in kinds]
+        title += f" [{', '.join(sorted(kinds))}]"
+        if args.out:
+            # The capture (or the recording above) holds every kind;
+            # rewrite --out so the artifact matches the filter.
+            with JsonlSink(args.out) as filtered:
+                for event in events:
+                    filtered.emit(event)
 
     kind_counts: dict[str, int] = {}
-    if isinstance(sink, JsonlSink):
-        sink.close()
-        from repro.obs import read_jsonl
-
-        events = read_jsonl(args.out)
-    else:
-        events = sink.events()
     for event in events:
         kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
     print(format_table(
         ["event kind", "count"],
         [[kind, count] for kind, count in sorted(kind_counts.items())],
-        title=(
-            f"traced {args.workload} workload "
-            f"(n={args.n}, {args.dims}-d, P={args.data_capacity}, "
-            f"F={args.fanout})"
-        ),
+        title=title,
     ))
-    counters = {
-        name: value
-        for name, value in tree.stats.to_dict().items()
-        if value
-    }
-    print()
-    print(format_table(
-        ["op counter", "value"],
-        [[name, value] for name, value in sorted(counters.items())],
-    ))
+    if kinds:
+        print(f"\n{len(events)} of {total} events match")
+    if args.stats:
+        # Summary mode: the per-kind table is the whole report.
+        return 0
+    if tree is not None:
+        counters = {
+            name: value
+            for name, value in tree.stats.to_dict().items()
+            if value
+        }
+        print()
+        print(format_table(
+            ["op counter", "value"],
+            [[name, value] for name, value in sorted(counters.items())],
+        ))
     if args.out:
         print(f"\nwrote {len(events)} events to {args.out}")
     elif isinstance(sink, RingSink) and sink.dropped:
@@ -337,6 +375,100 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"({sink.dropped} older ones dropped; use --out for all)"
         )
     return 0
+
+
+def _mixed_operations(
+    points: "list[tuple[float, ...]]", total: int, seed: int
+) -> "object":
+    """A steady insert/get/range/knn/delete mix for ``repro top``.
+
+    Inserts draw from ``points`` (assumed path-deduplicated) and reads
+    target the live set, so every operation is well-formed; deletes keep
+    a minimum population so the dashboard never empties out.
+    """
+    import random
+
+    rng = random.Random(seed)
+    dims = len(points[0])
+    live: list[tuple[float, ...]] = []
+    cursor = 0
+    for value in range(total):
+        roll = rng.random()
+        can_insert = cursor < len(points)
+        if can_insert and (roll < 0.45 or len(live) < 8):
+            point = points[cursor]
+            cursor += 1
+            live.append(point)
+            yield ("insert", point, value)
+        elif not live:
+            break
+        elif roll < 0.65:
+            yield ("get", live[rng.randrange(len(live))])
+        elif roll < 0.75:
+            lows = tuple(rng.random() * 0.85 for _ in range(dims))
+            yield ("range", lows, tuple(low + 0.1 for low in lows))
+        elif roll < 0.85:
+            yield ("knn", tuple(rng.random() for _ in range(dims)), 3)
+        elif len(live) > 8:
+            yield ("delete", live.pop(rng.randrange(len(live))))
+        else:
+            yield ("get", live[rng.randrange(len(live))])
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.core.tree import BVTree
+    from repro.obs import SlowOpLog, run_top
+    from repro.storage import BufferPool, ColumnarStore, PageStore
+
+    space = DataSpace.unit(args.dims, resolution=18)
+    raw = WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    # Path-deduplicate (same reason as doctor: the live set tracks float
+    # tuples, the tree keys by resolution bits).
+    seen = set()
+    points = []
+    for point in raw:
+        path = space.point_path(point)
+        if path not in seen:
+            seen.add(path)
+            points.append(tuple(point))
+    backing = ColumnarStore() if args.layout == "columnar" else PageStore()
+    store = (
+        BufferPool(backing, capacity=args.buffer) if args.buffer else backing
+    )
+    tree = BVTree(
+        space,
+        data_capacity=args.data_capacity,
+        fanout=args.fanout,
+        policy=args.policy,
+        store=store,
+    )
+    total = args.ops if args.ops else 4 * len(points)
+    slow_log = SlowOpLog(
+        args.slow_out,
+        latency_us=(
+            args.slow_ms * 1000.0 if args.slow_ms is not None else None
+        ),
+        pages=args.slow_pages,
+    )
+    try:
+        result = run_top(
+            tree,
+            _mixed_operations(points, total, seed=args.seed),
+            refresh=args.refresh,
+            once=args.once,
+            slow_log=slow_log,
+            prom_out=args.prom_out,
+            metrics_out=args.metrics_out,
+            metrics_every=args.metrics_every,
+            emit=print,
+        )
+    finally:
+        slow_log.close()
+    if args.slow_out and slow_log.count:
+        print(f"\nwrote {slow_log.count} slow-op records to {args.slow_out}")
+    if args.prom_out:
+        print(f"wrote Prometheus exposition to {args.prom_out}")
+    return result.exit_code
 
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
@@ -665,11 +797,24 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             p.add_argument(
                 "--out", default=None, metavar="PATH",
-                help="write the full event stream as JSONL to PATH",
+                help="write the (filtered) event stream as JSONL to PATH",
             )
             p.add_argument(
                 "--ring", type=int, default=65536,
                 help="ring-buffer capacity when --out is not given",
+            )
+            p.add_argument(
+                "--input", default=None, metavar="PATH",
+                help="analyse an existing JSONL capture instead of "
+                     "recording a new workload",
+            )
+            p.add_argument(
+                "--kind", action="append", default=None, metavar="KIND",
+                help="keep only this event kind (repeatable)",
+            )
+            p.add_argument(
+                "--stats", action="store_true",
+                help="print only the per-kind event count summary",
             )
             p.set_defaults(func=_cmd_trace)
 
@@ -719,6 +864,73 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of running a workload",
     )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-operation cost and health dashboard",
+        description=(
+            "Drives a mixed insert/get/range/knn/delete stream under "
+            "the cost profiler and the guarantee monitor and renders a "
+            "refreshing dashboard: ops/sec and p50/p99 latency per "
+            "operation kind, page accesses, buffer hit rate, WAL "
+            "fsyncs, slow-op captures and live guarantee verdicts. "
+            "--once drives the whole stream and prints one final frame "
+            "(the CI mode). Exits 0 unless a guarantee is violated; "
+            "see docs/OBSERVABILITY.md."
+        ),
+    )
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="uniform")
+    p.add_argument("--n", type=int, default=5_000)
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--data-capacity", type=int, default=16)
+    p.add_argument("--fanout", type=int, default=16)
+    p.add_argument("--policy", choices=["scaled", "uniform"], default="scaled")
+    p.add_argument(
+        "--layout", choices=["object", "columnar"], default="object",
+        help="page layout of the profiled tree",
+    )
+    p.add_argument(
+        "--buffer", type=int, default=256, metavar="PAGES",
+        help="buffer-pool capacity (0 disables the pool)",
+    )
+    p.add_argument(
+        "--ops", type=int, default=None, metavar="COUNT",
+        help="operations to drive (default: 4x the workload size)",
+    )
+    p.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="dashboard refresh interval in live mode",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="drive the whole stream, print one frame, exit",
+    )
+    p.add_argument(
+        "--slow-ms", type=float, default=10.0, metavar="MS",
+        help="slow-op latency threshold in milliseconds",
+    )
+    p.add_argument(
+        "--slow-pages", type=int, default=None, metavar="PAGES",
+        help="also capture ops touching at least this many pages",
+    )
+    p.add_argument(
+        "--slow-out", default=None, metavar="PATH",
+        help="write slow-op records (with EXPLAIN attachments) as JSONL",
+    )
+    p.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="write the Prometheus text exposition after each frame",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write periodic registry snapshots as JSONL",
+    )
+    p.add_argument(
+        "--metrics-every", type=int, default=1000, metavar="OPS",
+        help="operations between registry snapshots",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "recover",

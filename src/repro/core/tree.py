@@ -14,6 +14,7 @@ Example
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.errors import KeyNotFoundError, ReproError, TreeInvariantError
@@ -223,6 +224,39 @@ class BVTree:
         # would cost more than the whole tracing check.
         tracer = self.tracer
         if not tracer.enabled:
+            # Second guard: a direct-call cost profiler (repro.obs.profile)
+            # hooks the untraced read path here — the span machinery would
+            # blow its overhead budget, one attribute load will not.  The
+            # profiled body is written out inline (a third copy of the
+            # lookup) for the same reason the fast path is: an extra
+            # frame per get would eat a third of the profiler's own
+            # overhead budget.  Latency and page deltas land in the
+            # profiler, errors are counted without touching the
+            # distributions, and the exception propagates unchanged.
+            profiler = tracer.profiler
+            if profiler is not None:
+                rstats = profiler.rstats
+                r0 = (
+                    rstats.hits + rstats.misses
+                    if profiler.buffered
+                    else rstats.reads
+                )
+                t0 = perf_counter()
+                try:
+                    path = self.space.point_path(point)
+                    if self.layout == "columnar" and self.height > 0:
+                        entry = locate_columnar(self, path)[0]
+                    else:
+                        entry = locate(self, path).entry
+                    page: DataPage = self.store.read(entry.page)
+                    record = page.get(path)
+                    if record is None:
+                        raise KeyNotFoundError(f"no record at {tuple(point)}")
+                except BaseException:
+                    profiler.end_error("get")
+                    raise
+                profiler.end_get(t0, r0, point)
+                return record[1]
             path = self.space.point_path(point)
             if self.layout == "columnar" and self.height > 0:
                 # Fused column descent, and no Locate/GuardSet wrapper:
@@ -230,7 +264,7 @@ class BVTree:
                 entry = locate_columnar(self, path)[0]
             else:
                 entry = locate(self, path).entry
-            page: DataPage = self.store.read(entry.page)
+            page = self.store.read(entry.page)
             record = page.get(path)
             if record is None:
                 raise KeyNotFoundError(f"no record at {tuple(point)}")
@@ -369,7 +403,23 @@ class BVTree:
         """All records in the half-open box ``[lows, highs)``."""
         tracer = self.tracer
         if not tracer.enabled:
-            return _query.range_query(self, Rect(lows, highs))
+            profiler = tracer.profiler
+            if profiler is None:
+                return _query.range_query(self, Rect(lows, highs))
+            rstats = profiler.rstats
+            r0 = (
+                rstats.hits + rstats.misses
+                if profiler.buffered
+                else rstats.reads
+            )
+            t0 = perf_counter()
+            try:
+                result = _query.range_query(self, Rect(lows, highs))
+            except BaseException:
+                profiler.end_error("range")
+                raise
+            profiler.end_range(t0, r0, lows, highs)
+            return result
         with tracer.operation("range", lows=list(lows), highs=list(highs)):
             return _query.range_query(self, Rect(lows, highs))
 
@@ -396,7 +446,23 @@ class BVTree:
 
         tracer = self.tracer
         if not tracer.enabled:
-            return nearest_neighbours(self, point, k=k)
+            profiler = tracer.profiler
+            if profiler is None:
+                return nearest_neighbours(self, point, k=k)
+            rstats = profiler.rstats
+            r0 = (
+                rstats.hits + rstats.misses
+                if profiler.buffered
+                else rstats.reads
+            )
+            t0 = perf_counter()
+            try:
+                result = nearest_neighbours(self, point, k=k)
+            except BaseException:
+                profiler.end_error("knn")
+                raise
+            profiler.end_knn(t0, r0, point, k)
+            return result
         with tracer.operation("knn", point=list(point), k=k):
             return nearest_neighbours(self, point, k=k)
 

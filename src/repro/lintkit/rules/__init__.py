@@ -7,7 +7,7 @@ examples.  Importing this package populates the registry in
 :mod:`repro.lintkit.suppress`, where the suppression machinery lives).
 """
 
-from repro.lintkit.rules import columnar, exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly
+from repro.lintkit.rules import columnar, exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly, wallclock
 
 __all__ = [
     "columnar",
@@ -21,4 +21,5 @@ __all__ = [
     "printban",
     "statstouch",
     "typingonly",
+    "wallclock",
 ]

@@ -1,0 +1,86 @@
+"""R14 — no wall-clock reads in ``repro/core`` or ``repro/obs``.
+
+``time.time()`` follows the system clock: NTP slews it, daylight-saving
+and manual adjustments jump it backwards, and virtualised hosts drift
+it.  A latency histogram fed from wall-clock deltas can record negative
+durations; a dashboard refresh keyed on wall clock can stall or spin.
+Everything the core and observability layers time is an *interval* — op
+latencies, refresh cadences, overhead ratios — and intervals belong to
+the monotonic clocks: ``time.perf_counter()`` for short high-resolution
+measurements, ``time.monotonic()`` for scheduling.  Timestamps meant
+for humans (snapshot ``created`` fields, log lines) are the CLI's and
+perf runner's business, outside these layers.
+
+The rule flags any call to ``time.time`` — through the module
+(``time.time()``, including aliased imports like ``import time as t``)
+or imported directly (``from time import time``) — in ``repro/core``
+and ``repro/obs``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.context import FileContext, in_subpackage
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+
+@register
+class WallClockBan(Rule):
+    """Flag ``time.time()`` use in the core and observability layers."""
+
+    code = "R14"
+    name = "wall clock in interval-timing code"
+    fix_hint = (
+        "use time.perf_counter() for latency measurement or "
+        "time.monotonic() for scheduling; wall clock (time.time) can "
+        "jump backwards and corrupt intervals"
+    )
+
+    def applies_to(self, posix: str) -> bool:
+        return in_subpackage(posix, "core") or in_subpackage(posix, "obs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Names the ``time`` module is reachable under in this file
+        # (``import time``, ``import time as t``), and names that *are*
+        # ``time.time`` itself (``from time import time [as now]``).
+        module_aliases: set[str] = set()
+        direct_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            direct_names.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                yield self.make(
+                    ctx,
+                    node,
+                    f"{func.value.id}.time() reads the wall clock in "
+                    f"interval-timing code",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in direct_names
+            ):
+                yield self.make(
+                    ctx,
+                    node,
+                    f"{func.id}() (imported from time) reads the wall "
+                    f"clock in interval-timing code",
+                )

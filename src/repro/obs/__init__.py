@@ -28,10 +28,23 @@ not averages:
   verdicts, and the ``repro doctor`` engine;
 - :class:`~repro.obs.metrics.TimeSeriesSink` — columnar registry
   samples every N operations (a whole workload's health trajectory in
-  one bounded JSON artifact).
+  one bounded JSON artifact);
+- :class:`~repro.obs.profile.OpProfiler` — per-operation-kind cost
+  profiles (latency histograms, page-access deltas, cascade depth)
+  collected at tap discipline, plus :class:`~repro.obs.profile.SlowOpLog`
+  — structured JSONL captures of threshold-exceeding operations with
+  automatic EXPLAIN attachments for queries;
+- :func:`~repro.obs.metrics.to_prometheus` /
+  :func:`~repro.obs.metrics.lint_prometheus` — Prometheus text-format
+  exposition of a whole registry, and an in-tree format linter;
+- :class:`~repro.obs.metrics.MetricsSnapshotter` — periodic JSONL
+  registry snapshots keyed by operation count;
+- :mod:`~repro.obs.top` — the ``repro top`` engine: a refreshing
+  terminal dashboard (ops/sec, p50/p99 per kind, buffer hit rate, WAL
+  fsyncs, live guarantee verdicts) over any operation stream.
 
-CLI: ``repro explain``, ``repro trace`` and ``repro doctor``.  Full
-schema and usage: ``docs/OBSERVABILITY.md``.
+CLI: ``repro explain``, ``repro trace``, ``repro doctor`` and
+``repro top``.  Full schema and usage: ``docs/OBSERVABILITY.md``.
 
 This package sits *below* :mod:`repro.core` and :mod:`repro.storage` in
 the dependency order (both emit through it); it imports neither, which
@@ -53,11 +66,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSink,
+    MetricsSnapshotter,
     TimeSeriesSink,
+    lint_prometheus,
+    to_prometheus,
 )
 from repro.obs.monitor import AuditReport, GuaranteeMonitor
+from repro.obs.profile import KindProfile, OpProfiler, SlowOpLog
 from repro.obs.report import DoctorResult, render_doctor_text, run_doctor
 from repro.obs.sinks import JsonlSink, NullSink, RingSink, TraceSink, read_jsonl
+from repro.obs.top import TopResult, render_top_frame, run_top
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -73,11 +91,16 @@ __all__ = [
     "HealthThresholds",
     "Histogram",
     "JsonlSink",
+    "KindProfile",
     "MetricsRegistry",
     "MetricsSink",
+    "MetricsSnapshotter",
     "NullSink",
+    "OpProfiler",
     "RingSink",
+    "SlowOpLog",
     "TimeSeriesSink",
+    "TopResult",
     "TraceEvent",
     "TraceSink",
     "Tracer",
@@ -86,7 +109,11 @@ __all__ = [
     "explain_point",
     "explain_range",
     "height_bound",
+    "lint_prometheus",
     "read_jsonl",
     "render_doctor_text",
+    "render_top_frame",
     "run_doctor",
+    "run_top",
+    "to_prometheus",
 ]

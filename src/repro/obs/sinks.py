@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import IO, Protocol, runtime_checkable
+from typing import IO, Any, Protocol, runtime_checkable
 
 from repro.errors import ReproError
 from repro.obs.events import TraceEvent
@@ -78,6 +78,22 @@ class RingSink:
     def events(self) -> list[TraceEvent]:
         """The retained events, oldest first."""
         return list(self._buffer)
+
+    def publish(self, registry: Any, prefix: str = "trace.ring") -> None:
+        """Expose the ring's state as registry gauges.
+
+        Overflow used to be invisible unless a caller remembered to read
+        ``dropped``; publishing ``<prefix>.dropped`` (plus ``retained``
+        and ``capacity``) puts the truncation signal on the same
+        dashboards as everything else — a Prometheus scrape or a
+        :class:`~repro.obs.metrics.MetricsSnapshotter` line shows at a
+        glance whether a capture is complete.  Call it whenever current
+        values are wanted (e.g. as a :class:`~repro.obs.TimeSeriesSink`
+        ``prepare`` hook); it is O(1).
+        """
+        registry.gauge(f"{prefix}.dropped").set(self.dropped)
+        registry.gauge(f"{prefix}.retained").set(len(self._buffer))
+        registry.gauge(f"{prefix}.capacity").set(self.capacity)
 
     def clear(self) -> None:
         """Forget all retained events (``dropped`` is reset too)."""

@@ -123,6 +123,7 @@ class Tracer:
         "enabled",
         "structural",
         "current_op",
+        "profiler",
         "_seq",
         "_ops",
         "_taps",
@@ -143,6 +144,18 @@ class Tracer:
         self.structural: bool = self.enabled
         #: The operation span id events are stamped with (0 = no span).
         self.current_op = 0
+        #: Direct-call profiler hook for the *read* hot paths, or ``None``.
+        #: Read ops never open spans while the tracer is disabled (a span
+        #: plus event construction costs more than a whole exact-match
+        #: descent's tracing budget), so an attached
+        #: :class:`~repro.obs.profile.OpProfiler` registers itself here
+        #: and the read paths bracket the untraced body with inline
+        #: before-op marks plus one ``profiler.end_*()`` call — two
+        #: clock reads and a sample append, no event machinery.  Update
+        #: paths ignore this slot; their
+        #: spans already open under ``structural`` and the profiler taps
+        #: them like any other structural consumer.
+        self.profiler: Any = None
         self._seq = 0
         self._ops = 0
         self._taps: tuple[TraceSink, ...] = ()

@@ -120,11 +120,20 @@ def _overhead(scale: Scale) -> dict[str, Any]:
     tree.tracer.attach(ring)
     traced = timed()
     tree.tracer.detach()
+    # Publish the ring's occupancy gauges so the snapshot records
+    # whether the capture truncated (trace.ring.dropped > 0 means the
+    # overhead figure came from a partial window).
+    ring_registry = MetricsRegistry()
+    ring.publish(ring_registry)
     return {
         "lookups": len(probes),
         "disabled_us_per_op": disabled / len(probes) * 1e6,
         "ring_us_per_op": traced / len(probes) * 1e6,
         "ring_overhead_ratio": traced / disabled if disabled > 0 else None,
+        "ring_state": {
+            name: value["value"]
+            for name, value in ring_registry.snapshot().items()
+        },
     }
 
 

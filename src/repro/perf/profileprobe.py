@@ -1,0 +1,167 @@
+"""The cost-profiler probe: the profiler's own overhead, measured.
+
+Runs once per ``repro perf`` suite and fills the ``profile`` block of
+``BENCH_<suite>.json`` with the two numbers the acceptance gate reads:
+
+- ``profiler_overhead_ratio`` — the exact-match loop with an attached
+  :class:`~repro.obs.OpProfiler` against the same loop bare.  The
+  profiler's read-path cost is two clock reads, an IO-stat read and one
+  raw-sample append per op (histograms are folded in batches, see
+  :meth:`~repro.obs.metrics.Histogram.observe_many`); the budget is
+  **1.05x**.
+- ``detached_ratio`` — the same loop again after ``detach()``.  This is
+  the "disabled path unchanged" proof: once the profiler lets go, the
+  read path must time like it was never there (the hook is one ``is
+  None`` attribute check).
+
+Measuring a few-hundred-nanosecond hook under multi-percent machine
+noise takes more care than the tracing probe next door
+(:mod:`repro.perf.obsprobe`) needs for its coarser gates, so this probe
+layers three defences:
+
+- **Deep tree.**  The hook is a fixed cost per op, so the honest ratio
+  depends on the denominator; the probe populates ``PROFILE_POINTS``
+  records (capped by the scale) so the timed descents run at serving
+  depth, not toy depth.
+- **Paired small chunks.**  Machine noise (frequency scaling, steal
+  time) drifts on a scale of whole timing loops, so bare and profiled
+  are timed back-to-back on the same warmed ``PROFILE_CHUNK``-op chunk
+  each round, and each round contributes a *ratio*; both sides of every
+  ratio saw the same noise window.  The configuration order rotates
+  each round so within-round drift cannot systematically penalise one
+  configuration.
+- **Median of ratios.**  The reported ratio is the median across
+  ``PROFILE_ROUNDS`` rounds — robust to the occasional round that lands
+  on a descheduling spike.
+
+The block also carries the profiler's own view of the timed rounds —
+per-kind op count, latency percentiles, mean page accesses — which
+doubles as an end-to-end check that the direct-call hook saw every
+lookup.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from repro.obs import MetricsRegistry, OpProfiler
+from repro.perf.registry import Scale
+from repro.storage import BufferPool, ColumnarStore, PageStore
+from repro.workloads import uniform
+
+__all__ = ["PROFILE_OVERHEAD_BUDGET", "PROFILE_POINTS", "profile_snapshot"]
+
+#: The acceptance gate on ``profiler_overhead_ratio``.
+PROFILE_OVERHEAD_BUDGET = 1.05
+
+#: Probe-tree population (capped by ``scale.n_points``) — sized so the
+#: timed descents run at serving depth, not toy depth.
+PROFILE_POINTS = 50_000
+
+#: Exact-match lookups per timed chunk (small, so the three
+#: configurations of one round share a single machine-noise window).
+PROFILE_CHUNK = 64
+
+#: Rounds of paired chunk timings; the reported ratios are medians
+#: across them.
+PROFILE_ROUNDS = 180
+
+#: Distinct probe points cycled through by the rounds.
+_PROBE_SPAN = 4096
+
+
+def _profile_tree(scale: Scale) -> tuple[BVTree, list[tuple[float, ...]]]:
+    space = DataSpace.unit(scale.dims, resolution=scale.resolution)
+    n = min(scale.n_points, PROFILE_POINTS)
+    points = [tuple(p) for p in uniform(n, scale.dims, seed=scale.seed)]
+    backing = (
+        ColumnarStore() if scale.layout == "columnar" else PageStore()
+    )
+    pool = BufferPool(backing, capacity=256)
+    tree = BVTree(
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=pool,
+        layout=scale.layout,
+    )
+    return tree, points
+
+
+def profile_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``profile`` block of a ``BENCH_<suite>.json`` snapshot."""
+    tree, points = _profile_tree(scale)
+    tree.bulk_load([(p, i) for i, p in enumerate(points)], replace=True)
+    span = points[: min(len(points), _PROBE_SPAN)]
+    chunks = [
+        span[i : i + PROFILE_CHUNK]
+        for i in range(0, len(span) - PROFILE_CHUNK + 1, PROFILE_CHUNK)
+    ]
+    get = tree.get
+
+    def run(chunk: list[tuple[float, ...]]) -> float:
+        start = time.perf_counter()
+        for point in chunk:
+            get(point)
+        return time.perf_counter() - start
+
+    registry = MetricsRegistry()
+    profiler = OpProfiler(tree, registry=registry)
+
+    def timed(config: str, chunk: list[tuple[float, ...]]) -> float:
+        if config == "profiled":
+            profiler.attach()
+            try:
+                return run(chunk)
+            finally:
+                profiler.detach()
+        return run(chunk)
+
+    order = ("bare", "profiled", "detached")
+    ratios: dict[str, list[float]] = {"profiled": [], "detached": []}
+    samples: dict[str, list[float]] = {c: [] for c in order}
+    for rnd in range(PROFILE_ROUNDS):
+        chunk = chunks[rnd % len(chunks)]
+        run(chunk)  # warm: every page of the chunk is pooled before timing
+        shift = rnd % len(order)
+        t: dict[str, float] = {}
+        for config in order[shift:] + order[:shift]:
+            t[config] = timed(config, chunk)
+        for config in order:
+            samples[config].append(t[config])
+        ratios["profiled"].append(t["profiled"] / t["bare"])
+        ratios["detached"].append(t["detached"] / t["bare"])
+
+    per_op = 1e6 / PROFILE_CHUNK
+    get_profile = profiler.profiles.get("get")
+    return {
+        "chunk_ops": PROFILE_CHUNK,
+        "rounds": PROFILE_ROUNDS,
+        "tree_points": tree.count,
+        "tree_height": tree.height,
+        "budget_ratio": PROFILE_OVERHEAD_BUDGET,
+        "bare_us_per_op": statistics.median(samples["bare"]) * per_op,
+        "profiled_us_per_op": (
+            statistics.median(samples["profiled"]) * per_op
+        ),
+        "detached_us_per_op": (
+            statistics.median(samples["detached"]) * per_op
+        ),
+        "profiler_overhead_ratio": statistics.median(ratios["profiled"]),
+        "detached_ratio": statistics.median(ratios["detached"]),
+        "get": (
+            {
+                "ops": get_profile.ops,
+                "p50_us": get_profile.latency_us.quantile(0.5),
+                "p99_us": get_profile.latency_us.quantile(0.99),
+                "mean_us": get_profile.latency_us.mean,
+                "mean_pages": get_profile.pages.mean,
+            }
+            if get_profile is not None
+            else None
+        ),
+    }

@@ -110,6 +110,11 @@ class SuiteResult:
     #: (:func:`repro.perf.columnar_probe.columnar_snapshot`).  Additive
     #: like the blocks above: absent in older snapshots.
     columnar: dict[str, Any] = field(default_factory=dict)
+    #: Cost-profiler overhead ratios and its per-kind view of the timed
+    #: loop from the profiler probe
+    #: (:func:`repro.perf.profileprobe.profile_snapshot`).  Additive
+    #: like the blocks above: absent in older snapshots.
+    profile: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -130,6 +135,7 @@ class SuiteResult:
             "health": self.health,
             "durability": self.durability,
             "columnar": self.columnar,
+            "profile": self.profile,
         }
 
     def to_json(self) -> str:
@@ -159,6 +165,7 @@ class SuiteResult:
             health=dict(data.get("health", {})),
             durability=dict(data.get("durability", {})),
             columnar=dict(data.get("columnar", {})),
+            profile=dict(data.get("profile", {})),
         )
 
     @classmethod

@@ -23,6 +23,7 @@ from repro.perf import scenarios
 from repro.perf.columnar_probe import columnar_snapshot
 from repro.perf.durability import durability_snapshot
 from repro.perf.obsprobe import health_snapshot, observability_snapshot
+from repro.perf.profileprobe import profile_snapshot
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult, SuiteResult, compare
 from repro.perf.timer import measure
@@ -92,6 +93,7 @@ def run_suite(
     health: dict[str, Any] = {}
     durability: dict[str, Any] = {}
     columnar: dict[str, Any] = {}
+    profile: dict[str, Any] = {}
     if observability:
         if progress is not None:
             progress("observability probe")
@@ -105,6 +107,9 @@ def run_suite(
         if progress is not None:
             progress("columnar probe (layout lanes + oracle)")
         columnar = columnar_snapshot(scale)
+        if progress is not None:
+            progress("profiler probe (cost-profiler overhead)")
+        profile = profile_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -116,6 +121,7 @@ def run_suite(
         health=health,
         durability=durability,
         columnar=columnar,
+        profile=profile,
     )
 
 
@@ -184,6 +190,8 @@ def render_text(
         blocks.append(_render_durability(result.durability))
     if result.columnar:
         blocks.append(_render_columnar(result.columnar))
+    if result.profile:
+        blocks.append(_render_profile(result.profile))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -267,6 +275,18 @@ def health_regressions(
     base_rec = baseline.durability.get("recovered_health") or {}
     if base_rec.get("ok", True) and cur_rec and not cur_rec.get("ok", True):
         out.append("recovered-tree guarantees: ok -> failing")
+    cur_prof = current.profile.get("profiler_overhead_ratio")
+    base_prof = baseline.profile.get("profiler_overhead_ratio")
+    budget = current.profile.get("budget_ratio", 1.05)
+    if (
+        cur_prof is not None
+        and cur_prof > budget
+        and (base_prof is None or base_prof <= budget)
+    ):
+        out.append(
+            f"profiler overhead: {cur_prof:.3f}x exceeds "
+            f"the {budget:.2f}x budget"
+        )
     return out
 
 
@@ -392,6 +412,51 @@ def _render_columnar(columnar: dict[str, Any]) -> str:
         title=(
             f"columnar probe (n={columnar.get('probe_points')}, "
             f"object vs columnar lanes)"
+        ),
+    )
+
+
+def _render_profile(profile: dict[str, Any]) -> str:
+    """The cost-profiler block of the text report."""
+    rows: list[list[Any]] = []
+    rows.append([
+        "bare exact match",
+        f"{profile.get('bare_us_per_op', 0.0):.2f} us/op",
+    ])
+    rows.append([
+        "profiler attached",
+        f"{profile.get('profiled_us_per_op', 0.0):.2f} us/op",
+    ])
+    ratio = profile.get("profiler_overhead_ratio")
+    budget = profile.get("budget_ratio")
+    if ratio is not None:
+        verdict = ""
+        if budget is not None:
+            verdict = " (PASS)" if ratio <= budget else " (OVER BUDGET)"
+        rows.append([
+            f"profiler overhead (budget {budget:.2f}x)"
+            if budget is not None
+            else "profiler overhead",
+            f"{ratio:.3f}x{verdict}",
+        ])
+    detached = profile.get("detached_ratio")
+    if detached is not None:
+        rows.append(["after detach", f"{detached:.3f}x"])
+    get = profile.get("get") or {}
+    if get:
+        rows.append([
+            "profiler's own view (get)",
+            f"{get.get('ops')} ops, p50 {get.get('p50_us', 0.0):.1f}us, "
+            f"p99 {get.get('p99_us', 0.0):.1f}us, "
+            f"{get.get('mean_pages', 0.0):.1f} pages/op",
+        ])
+    return format_table(
+        ["profiler probe", "value"],
+        rows,
+        title=(
+            f"cost-profiler probe (n={profile.get('tree_points')}, "
+            f"height {profile.get('tree_height')}, "
+            f"{profile.get('rounds')} paired rounds)"
         ),
     )
 

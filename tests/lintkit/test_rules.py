@@ -717,3 +717,90 @@ class TestR13ColumnarColumns:
             """,
         )
         assert "R13" not in codes(findings)
+
+
+class TestR14WallClock:
+    def test_flags_module_call_in_core(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert codes(findings) == ["R14"]
+
+    def test_flags_aliased_module_call_in_obs(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/obs/mod.py",
+            """
+            import time as clock
+
+            def stamp():
+                return clock.time()
+            """,
+        )
+        assert codes(findings) == ["R14"]
+
+    def test_flags_direct_import_call(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/obs/mod.py",
+            """
+            from time import time
+
+            def stamp():
+                return time()
+            """,
+        )
+        assert codes(findings) == ["R14"]
+
+    def test_flags_renamed_direct_import_call(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from time import time as now
+
+            def stamp():
+                return now()
+            """,
+        )
+        assert codes(findings) == ["R14"]
+
+    def test_monotonic_clocks_are_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/obs/mod.py",
+            """
+            import time
+            from time import monotonic, perf_counter
+
+            def interval():
+                t0 = perf_counter()
+                deadline = monotonic() + 1.0
+                return time.perf_counter() - t0, deadline
+            """,
+        )
+        assert "R14" not in codes(findings)
+
+    def test_other_layers_are_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/perf/mod.py",
+            """
+            import time
+
+            def created():
+                return time.time()
+            """,
+        )
+        assert "R14" not in codes(findings)
+
+    def test_unrelated_time_attribute_is_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            def fmt(event):
+                return event.time()
+            """,
+        )
+        assert "R14" not in codes(findings)

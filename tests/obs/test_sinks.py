@@ -59,6 +59,31 @@ class TestRingSink:
     def test_satisfies_protocol(self):
         assert isinstance(RingSink(), TraceSink)
 
+    def test_publish_exposes_overflow_as_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sink = RingSink(capacity=3)
+        for event in make_events(5):
+            sink.emit(event)
+        registry = MetricsRegistry()
+        sink.publish(registry)
+        snap = registry.snapshot()
+        assert snap["trace.ring.dropped"]["value"] == 2
+        assert snap["trace.ring.retained"]["value"] == 3
+        assert snap["trace.ring.capacity"]["value"] == 3
+
+    def test_publish_tracks_current_state(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sink = RingSink(capacity=4)
+        registry = MetricsRegistry()
+        sink.publish(registry, prefix="ring")
+        assert registry.snapshot()["ring.dropped"]["value"] == 0
+        for event in make_events(6):
+            sink.emit(event)
+        sink.publish(registry, prefix="ring")
+        assert registry.snapshot()["ring.dropped"]["value"] == 2
+
 
 class TestJsonlSink:
     def test_write_and_read_round_trip(self, tmp_path):

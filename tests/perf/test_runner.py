@@ -68,6 +68,7 @@ class TestRunSuite:
             "health probe (guarantee doctor)",
             "durability probe (WAL overhead + crash recovery)",
             "columnar probe (layout lanes + oracle)",
+            "profiler probe (cost-profiler overhead)",
         ]
 
     def test_progress_without_observability(self):

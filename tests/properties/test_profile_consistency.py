@@ -1,0 +1,104 @@
+"""Property tests: profiler histograms agree with the tree's own counters.
+
+The profiler observes operations from the outside — a tracer tap for
+updates, inline marks for reads.  The tree counts the same operations
+from the inside via ``OpCounters``.  Over randomised workloads and both
+page layouts the two views must agree exactly:
+
+- update op counts equal the ``OpCounters`` delta (inserts, deletes);
+- the insert cascade histogram totals exactly the split counters'
+  delta — every split the tree performed was attributed to some op,
+  and none was invented;
+- read op counts equal the number of calls the driver issued (the
+  counters have no read-side fields, so the driver is the ground
+  truth there).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.tree import BVTree
+from repro.geometry.space import DataSpace
+from repro.obs.profile import OpProfiler
+
+COORD = st.integers(min_value=0, max_value=(1 << 10) - 1)
+LAYOUTS = st.sampled_from(["object", "columnar"])
+
+
+def to_point(cell: tuple[int, int]) -> tuple[float, float]:
+    return (cell[0] / 1024, cell[1] / 1024)
+
+
+class TestUpdateConsistency:
+    @given(
+        cells=st.lists(
+            st.tuples(COORD, COORD), min_size=1, max_size=120, unique=True
+        ),
+        layout=LAYOUTS,
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_histogram_counts_match_opcounters(self, cells, layout):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4, layout=layout)
+        profiler = OpProfiler(tree).attach()
+        before = tree.stats.snapshot()
+        for i, cell in enumerate(cells):
+            tree.insert(to_point(cell), i, replace=True)
+        deleted = cells[::3]
+        for cell in deleted:
+            tree.delete(to_point(cell))
+        profiler.detach()
+        delta = tree.stats.delta(before)
+
+        insert = profiler.profiles["insert"]
+        assert insert.ops == delta.inserts == len(cells)
+        assert insert.cascade.total == (
+            delta.data_splits + delta.index_splits
+        )
+        if deleted:
+            assert profiler.profiles["delete"].ops == delta.deletes
+            assert profiler.profiles["delete"].ops == len(deleted)
+
+
+class TestReadConsistency:
+    @given(
+        cells=st.lists(
+            st.tuples(COORD, COORD), min_size=4, max_size=100, unique=True
+        ),
+        layout=LAYOUTS,
+        stride=st.integers(min_value=1, max_value=5),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_read_ops_match_driver_counts(self, cells, layout, stride):
+        space = DataSpace.unit(2, resolution=10)
+        tree = BVTree(space, data_capacity=4, fanout=4, layout=layout)
+        tree.bulk_load(
+            [(to_point(c), i) for i, c in enumerate(cells)], replace=True
+        )
+        profiler = OpProfiler(tree).attach()
+        probes = cells[::stride]
+        for cell in probes:
+            tree.get(to_point(cell))
+        n_ranges = 0
+        for cell in probes[: max(1, len(probes) // 4)]:
+            low = to_point(cell)
+            tree.range_query(low, (min(1.0, low[0] + 0.2), min(1.0, low[1] + 0.2)))
+            n_ranges += 1
+        tree.nearest(to_point(cells[0]), k=min(3, len(cells)))
+        profiler.flush()
+
+        get = profiler.profile("get")
+        assert get.ops == len(probes)
+        assert get.errors.value == 0
+        # every exact-match descent reads exactly height + 1 pages
+        assert get.pages.total == len(probes) * (tree.height + 1)
+        assert profiler.profile("range").ops == n_ranges
+        assert profiler.profile("knn").ops == 1
+        profiler.detach()

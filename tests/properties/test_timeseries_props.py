@@ -1,0 +1,100 @@
+"""Property tests for the time-series sink's stride-doubling compaction.
+
+Three laws over randomised workload lengths and sink configurations:
+
+- the retained sample count never exceeds ``max_samples``, however long
+  the drive;
+- the newest sample is always retained and samples stay strictly
+  increasing in op count — compaction halves resolution, never recency
+  or order;
+- every retained op count is a multiple of the *original* stride, and
+  the final stride is the original times a power of two — compaction
+  only ever merges adjacent strides, it cannot invent sample points.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry, TimeSeriesSink
+
+
+def drive(every: int, max_samples: int, ops: int) -> TimeSeriesSink:
+    registry = MetricsRegistry()
+    counter = registry.counter("ops")
+    sink = TimeSeriesSink(
+        registry, every=every, max_samples=max_samples
+    )
+    for _ in range(ops):
+        counter.inc()
+        sink.tick()
+    return sink
+
+
+@given(
+    every=st.integers(min_value=1, max_value=7),
+    max_samples=st.integers(min_value=2, max_value=16),
+    ops=st.integers(min_value=0, max_value=2000),
+)
+@settings(max_examples=120, deadline=None)
+def test_sample_count_stays_bounded(every, max_samples, ops):
+    sink = drive(every, max_samples, ops)
+    assert len(sink.ops) <= max_samples
+    for column in sink.columns.values():
+        assert len(column) == len(sink.ops)
+
+
+@given(
+    every=st.integers(min_value=1, max_value=7),
+    max_samples=st.integers(min_value=2, max_value=16),
+    ops=st.integers(min_value=1, max_value=2000),
+)
+@settings(max_examples=120, deadline=None)
+def test_newest_sample_retained_and_order_preserved(
+    every, max_samples, ops
+):
+    sink = drive(every, max_samples, ops)
+    if ops < every:
+        assert sink.ops == []
+        return
+    # nothing sample-worthy was missed at the final stride: fewer than
+    # one (possibly doubled) stride's worth of ops elapsed since the
+    # newest retained sample
+    assert ops - sink.ops[-1] < sink.every
+    # without compaction the newest sample sits exactly on the grid
+    if sink.every == every:
+        assert sink.ops[-1] == (ops // every) * every
+    assert sink.ops == sorted(sink.ops)
+    assert len(set(sink.ops)) == len(sink.ops)
+
+
+@given(
+    every=st.integers(min_value=1, max_value=7),
+    max_samples=st.integers(min_value=2, max_value=16),
+    ops=st.integers(min_value=0, max_value=2000),
+)
+@settings(max_examples=120, deadline=None)
+def test_strides_are_power_of_two_multiples(every, max_samples, ops):
+    sink = drive(every, max_samples, ops)
+    # final stride = original * 2^k for some k >= 0
+    ratio = sink.every // every
+    assert sink.every == every * ratio
+    assert ratio & (ratio - 1) == 0
+    # every retained sample point lies on the original stride grid
+    for op_count in sink.ops:
+        assert op_count % every == 0
+    # counter column tracks the op counts exactly (the sampled counter
+    # equals the ops driven at sample time, surviving compaction)
+    assert sink.columns.get("ops", []) == sink.ops
+
+
+@given(
+    max_samples=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_compaction_preserves_time_range_at_half_resolution(max_samples):
+    """One compaction keeps alternating samples, newest included."""
+    every = 1
+    ops = max_samples + 1  # exactly one compaction triggers
+    sink = drive(every, max_samples, ops)
+    expected = list(range(ops, 0, -2))[::-1]
+    assert sink.ops == expected
+    assert sink.every == 2
