@@ -81,6 +81,47 @@ assert all(r["explain"]["pages_touched"] >= 1 for r in explained)
 PY
 rm -f "$top_prom" "$top_slow"
 
+echo "== concurrency =="
+# The lockstep/linearizability lane by name: snapshot isolation, the
+# deterministic schedule replays, free-running thread runs, the reader
+# hammer, crash-under-concurrency cells and the serving wire contract.
+# Tier-1 runs these too; the named lane means a concurrency regression
+# is reported as one, not buried in the full run.  (The ~30s soak is
+# `slow`-marked and runs in the nightly lane: pytest -m slow.)
+python -m pytest -x -q tests/concurrency tests/server
+
+echo "== serve smoke =="
+# Boot the real server, drive mixed traffic over real sockets with the
+# load generator, and require non-zero throughput with zero failed
+# requests (loadgen exits 1 on any unexpected status).
+serve_json="${TMPDIR:-/tmp}/repro-serve-smoke.json"
+python -m repro serve --n 2000 --port 18077 >/dev/null 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    if python - <<'PY' 2>/dev/null
+import http.client
+conn = http.client.HTTPConnection("127.0.0.1", 18077, timeout=1)
+conn.request("GET", "/health")
+assert conn.getresponse().status == 200
+PY
+    then break; fi
+    sleep 0.2
+done
+python -m repro loadgen --url http://127.0.0.1:18077 \
+    --duration 3 --json "$serve_json" >/dev/null
+python - "$serve_json" <<'PY'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert summary["requests"] > 0, "serve smoke drove no traffic"
+assert summary["errors"] == 0, f"serve smoke saw errors: {summary}"
+assert summary["ops_per_s"] > 0
+PY
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_json"
+
 echo "== durability smoke =="
 # Build a durable store that dies at an injected torn-tail crash, then
 # recover it and verify the rebuilt tree — the full loop the crash

@@ -13,6 +13,8 @@
     python -m repro doctor --workload storm    # score the paper guarantees
     python -m repro top --once                 # live cost/health dashboard
     python -m repro recover state/             # replay a WAL, rebuild the tree
+    python -m repro serve --n 10000            # HTTP/JSON serving layer
+    python -m repro loadgen --duration 5       # drive traffic at a server
 """
 
 from __future__ import annotations
@@ -670,6 +672,224 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving stack pulls in asyncio and the
+    # concurrency layer, which no other subcommand needs.
+    import asyncio
+
+    from repro.concurrency import TreeService
+    from repro.obs.metrics import MetricsRegistry
+    from repro.server import ServingApp, WriteBatcher, serve_app
+
+    space = DataSpace.unit(args.dims, resolution=18)
+    raw = WORKLOADS[args.workload](args.n, args.dims, seed=args.seed)
+    # Path-deduplicate (same reason as doctor: records key by resolution
+    # bits, so colliding points would fight over one slot).
+    seen = set()
+    records = []
+    for point in raw:
+        path = space.point_path(point)
+        if path not in seen:
+            seen.add(path)
+            records.append((tuple(point), len(records)))
+    if args.durable:
+        from repro.storage.durable import create_durable_tree
+
+        tree = create_durable_tree(
+            args.durable,
+            space,
+            data_capacity=args.data_capacity,
+            fanout=args.fanout,
+            layout=args.layout,
+            sync=args.sync,
+        )
+        for point, value in records:
+            tree.insert(point, value, replace=True)
+    else:
+        from repro.core.tree import BVTree
+        from repro.storage import ColumnarStore, PageStore
+
+        tree = BVTree(
+            space,
+            data_capacity=args.data_capacity,
+            fanout=args.fanout,
+            store=(
+                ColumnarStore()
+                if args.layout == "columnar"
+                else PageStore()
+            ),
+            layout=args.layout,
+        )
+        tree.bulk_load(records, replace=True)
+    service = TreeService(tree)
+    batcher = (
+        None
+        if args.no_batch
+        else WriteBatcher(
+            service, max_batch=args.batch_max, max_wait_s=args.batch_wait
+        )
+    )
+    app = ServingApp(service, registry=MetricsRegistry(), batcher=batcher)
+    print(
+        f"serving {len(records)} {args.workload} records "
+        f"({args.dims}-d, layout={args.layout}) "
+        f"on http://{args.host}:{args.port} — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(serve_app(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        if batcher is not None:
+            batcher.close()
+        service.detach()
+        if args.durable:
+            tree.store.close()
+    return 0
+
+
+def _loadgen_worker(
+    url: str,
+    mix_read_fraction: float,
+    stop_at: float,
+    seed: int,
+    dims: int,
+    out: "dict[str, object]",
+) -> None:
+    """One load-generator thread: mixed traffic over a keep-alive
+    connection, latencies and error counts recorded into ``out``."""
+    import http.client
+    import json as json_mod
+    import random
+    from time import monotonic, perf_counter
+    from urllib.parse import urlsplit
+
+    rng = random.Random(seed)
+    parts = urlsplit(url)
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    latencies: list[float] = []
+    reads = writes = errors = 0
+    try:
+        while monotonic() < stop_at:
+            point = [rng.random() for _ in range(dims)]
+            if rng.random() < mix_read_fraction:
+                roll = rng.random()
+                if roll < 0.8:
+                    path, body = "/v1/get", {"point": point}
+                elif roll < 0.95:
+                    lo = rng.random() * 0.8
+                    path, body = "/v1/range", {
+                        "lows": [lo] * dims,
+                        "highs": [lo + 0.2] * dims,
+                    }
+                else:
+                    path, body = "/v1/knn", {"point": point, "k": 5}
+                expected = (200, 404)
+                reads += 1
+            else:
+                if rng.random() < 0.7:
+                    path, body = "/v1/insert", {
+                        "point": point,
+                        "value": rng.randrange(1 << 20),
+                        "replace": True,
+                    }
+                    expected = (201,)
+                else:
+                    path, body = "/v1/delete", {"point": point}
+                    expected = (200, 404)
+                writes += 1
+            t0 = perf_counter()
+            try:
+                conn.request(
+                    "POST",
+                    path,
+                    body=json_mod.dumps(body),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+                if response.status not in expected:
+                    errors += 1
+            except (OSError, http.client.HTTPException):
+                errors += 1
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=10.0)
+            latencies.append(perf_counter() - t0)
+    finally:
+        conn.close()
+    out["latencies"] = latencies
+    out["reads"] = reads
+    out["writes"] = writes
+    out["errors"] = errors
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    import threading
+    from time import monotonic, perf_counter
+
+    from repro.perf.serving import MIXES, _quantile
+
+    read_fraction = MIXES[args.mix]
+    stop_at = monotonic() + args.duration
+    slots: list[dict[str, object]] = [{} for _ in range(args.threads)]
+    threads = [
+        threading.Thread(
+            target=_loadgen_worker,
+            args=(
+                args.url,
+                read_fraction,
+                stop_at,
+                args.seed * 1009 + slot,
+                args.dims,
+                slots[slot],
+            ),
+        )
+        for slot in range(args.threads)
+    ]
+    t0 = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - t0
+    latencies = sorted(
+        latency
+        for slot in slots
+        for latency in slot.get("latencies", [])  # type: ignore[union-attr]
+    )
+    reads = sum(int(slot.get("reads", 0)) for slot in slots)  # type: ignore[arg-type]
+    writes = sum(int(slot.get("writes", 0)) for slot in slots)  # type: ignore[arg-type]
+    errors = sum(int(slot.get("errors", 0)) for slot in slots)  # type: ignore[arg-type]
+    total = reads + writes
+    summary = {
+        "url": args.url,
+        "mix": args.mix,
+        "read_fraction": read_fraction,
+        "threads": args.threads,
+        "duration_s": round(elapsed, 3),
+        "requests": total,
+        "reads": reads,
+        "writes": writes,
+        "errors": errors,
+        "ops_per_s": round(total / elapsed, 1) if elapsed else 0.0,
+        "p50_us": round(_quantile(latencies, 0.50) * 1e6, 1),
+        "p99_us": round(_quantile(latencies, 0.99) * 1e6, 1),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+    print(format_table(
+        ["loadgen", "value"],
+        [[key, value] for key, value in summary.items()],
+        title=f"load generator ({args.mix} mix against {args.url})",
+    ))
+    return 1 if errors else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: linting pulls in the whole rule registry, which the
     # analysis/demo subcommands never need.
@@ -978,6 +1198,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL durability for --build: fsync per commit, or OS cache only",
     )
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a workload-built tree over HTTP/JSON",
+        description=(
+            "Builds a BV-tree over a synthetic workload, wraps it in "
+            "the single-writer/many-readers TreeService and serves the "
+            "HTTP/JSON API (get/insert/delete/range/knn/batch/bulk plus "
+            "/health, /stats and Prometheus /metrics) until Ctrl-C. "
+            "Writes coalesce into group commits via the write batcher; "
+            "reads run against immutable snapshots and never block. "
+            "See docs/SERVING.md."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077)
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="uniform")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--data-capacity", type=int, default=16)
+    p.add_argument("--fanout", type=int, default=16)
+    p.add_argument(
+        "--layout", choices=["object", "columnar"], default="object",
+        help="page layout of the served tree",
+    )
+    p.add_argument(
+        "--durable", default=None, metavar="DIR",
+        help="back the tree with a WAL-backed durable store in DIR "
+             "(insert-built; survives crashes, see repro recover)",
+    )
+    p.add_argument(
+        "--sync", choices=["commit", "os"], default="os",
+        help="WAL durability with --durable",
+    )
+    p.add_argument(
+        "--batch-max", type=int, default=64,
+        help="write-batcher group size cap",
+    )
+    p.add_argument(
+        "--batch-wait", type=float, default=0.002, metavar="SECONDS",
+        help="write-batcher straggler wait",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="apply writes directly instead of through the batcher",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive mixed HTTP traffic against a running repro serve",
+        description=(
+            "Opens keep-alive connections to a running server and "
+            "drives one of the three query:update mixes for a fixed "
+            "duration, reporting ops/sec and p50/p99 latency. Exits "
+            "non-zero if any request failed unexpectedly (the CI "
+            "smoke contract). See docs/SERVING.md."
+        ),
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8077")
+    p.add_argument(
+        "--mix", choices=["read_heavy", "balanced", "write_heavy"],
+        default="balanced",
+    )
+    p.add_argument("--duration", type=float, default=5.0, metavar="SECONDS")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the summary as JSON to PATH",
+    )
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,59 @@
+"""Single-writer / many-readers concurrency over the ``Storage`` protocol.
+
+The layers above the core tree (WAL, profiler, doctor, server) all
+assume *someone* arbitrates concurrent access; this package is that
+someone.  :class:`TreeService` serializes writes and publishes immutable
+:class:`~repro.concurrency.snapshots.TreeVersion` objects; readers pin
+versions wait-free via :meth:`TreeService.snapshot` and run the ordinary
+core read paths against them.  :mod:`repro.concurrency.lockstep` is the
+harness that proves the construction linearizable for the single-writer
+case (see ``docs/SERVING.md`` and ``tests/concurrency/``).
+
+The core tree itself stays single-threaded and free of concurrency
+primitives — lint rule R15 bans ``threading``/``asyncio`` from
+``repro.core``; concurrency lives here, at the storage/server boundary,
+per the same discipline that keeps backends out of the core (R3).
+"""
+
+from repro.concurrency.clone import clone_entry, clone_page
+from repro.concurrency.lockstep import (
+    LockstepError,
+    Oracle,
+    build_service,
+    dump_schedule,
+    load_schedule,
+    run_schedule,
+    run_threads,
+    verify_snapshot,
+    verify_structure,
+)
+from repro.concurrency.service import (
+    BatchAbortedError,
+    RecordingStore,
+    TreeService,
+    delete_op,
+    insert_op,
+)
+from repro.concurrency.snapshots import Snapshot, TreeVersion, VersionStore
+
+__all__ = [
+    "BatchAbortedError",
+    "LockstepError",
+    "Oracle",
+    "RecordingStore",
+    "Snapshot",
+    "TreeService",
+    "TreeVersion",
+    "VersionStore",
+    "build_service",
+    "clone_entry",
+    "clone_page",
+    "delete_op",
+    "dump_schedule",
+    "insert_op",
+    "load_schedule",
+    "run_schedule",
+    "run_threads",
+    "verify_snapshot",
+    "verify_structure",
+]

@@ -1,0 +1,288 @@
+"""Immutable point-in-time views of a served tree.
+
+A :class:`TreeVersion` is one published committed state: a frozen page
+table (page id -> cloned payload) plus the tree metadata that changes
+under writes (root page, height, record count) and the version's place
+in the committed write history (``lsn``).  Versions are never mutated
+after publication — the service builds a *new* table for every commit
+and swaps one reference — so pinning a version is just holding it, and
+a reader never observes a half-applied split cascade by construction.
+
+A :class:`Snapshot` wraps a version with everything the core read paths
+need.  It deliberately duck-types the :class:`~repro.core.BVTree`
+surface those paths consume (``space``, ``layout``, ``height``,
+``root_page``, ``store``, ``tracer``, ``root_entry()``), so exact-match
+descent, range queries and k-NN run *unchanged* against a snapshot —
+same code, same page-access counts, frozen data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.concurrency.clone import clone_page
+from repro.core.columnar import locate_columnar
+from repro.core.descent import Locate, locate
+from repro.core.entry import Entry
+from repro.core.node import DataPage, IndexNode
+from repro.core.policy import CapacityPolicy
+from repro.core import query as _query
+from repro.core.knn import KNNResult, nearest_neighbours
+from repro.errors import KeyNotFoundError, PageNotFoundError, StorageError
+from repro.geometry.rect import Rect
+from repro.geometry.region import ROOT_KEY
+from repro.geometry.space import DataSpace
+from repro.obs.tracer import Tracer
+
+__all__ = ["Snapshot", "TreeVersion", "VersionStore"]
+
+
+class TreeVersion:
+    """One committed state of a served tree (frozen after publication)."""
+
+    __slots__ = ("pages", "root_page", "height", "count", "lsn", "wal_seq")
+
+    def __init__(
+        self,
+        pages: dict[int, Any],
+        root_page: int,
+        height: int,
+        count: int,
+        lsn: int,
+        wal_seq: int | None = None,
+    ):
+        #: page id -> cloned payload.  Treated as immutable from here on.
+        self.pages = pages
+        self.root_page = root_page
+        self.height = height
+        self.count = count
+        #: Number of commits published before and including this one —
+        #: the position in the committed write history this version
+        #: corresponds to (the linearizability tests key on it).
+        self.lsn = lsn
+        #: The durable store's WAL sequence at publication, when the
+        #: served tree is WAL-backed (``None`` for in-memory stores).
+        self.wal_seq = wal_seq
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeVersion(lsn={self.lsn}, {self.count} points, "
+            f"height={self.height}, {len(self.pages)} pages)"
+        )
+
+
+class VersionStore:
+    """Read-only ``Storage`` facade over one version's page table.
+
+    Only the read surface exists; every mutator raises.  ``read`` counts
+    logical reads per *store instance* — each snapshot owns its own
+    ``VersionStore``, so per-query page-access numbers stay exact without
+    any shared mutable state between readers (the per-snapshot strategy
+    for the read-path counter races; see ``docs/SERVING.md``).
+    """
+
+    __slots__ = ("_pages", "tracer", "reads")
+
+    def __init__(self, pages: Mapping[int, Any]):
+        self._pages = pages
+        #: Disabled tracer: snapshot reads are never traced (the tracer
+        #: protocol is part of the store surface the read paths consult).
+        self.tracer = Tracer()
+        self.reads = 0
+
+    def read(self, page_id: int) -> Any:
+        try:
+            content = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(
+                f"page {page_id} not in this snapshot"
+            ) from None
+        self.reads += 1
+        return content
+
+    def peek(self, page_id: int) -> Any:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(
+                f"page {page_id} not in this snapshot"
+            ) from None
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # -- mutators: snapshots are frozen ---------------------------------
+
+    def allocate(self, content: Any = None, size_class: int = 0) -> int:
+        raise StorageError("snapshot stores are read-only")
+
+    def write(self, page_id: int, content: Any) -> None:
+        raise StorageError("snapshot stores are read-only")
+
+    def free(self, page_id: int) -> None:
+        raise StorageError("snapshot stores are read-only")
+
+
+class Snapshot:
+    """A pinned, consistent, read-only view of a served tree.
+
+    Obtained from :meth:`repro.concurrency.TreeService.snapshot`; cheap
+    (no copying — versions are published pre-cloned) and wait-free (no
+    lock is taken).  The snapshot stays valid for as long as the object
+    is referenced, entirely independent of later writes, crashes or
+    store poisoning.
+
+    A snapshot is safe to *share* across reader threads for queries —
+    everything reachable is frozen — but its convenience page counter
+    (``store.reads``) is per-instance and approximate under sharing;
+    open one snapshot per reader when exact per-reader counts matter.
+    """
+
+    __slots__ = ("version", "space", "policy", "layout", "store", "tracer")
+
+    def __init__(
+        self,
+        version: TreeVersion,
+        space: DataSpace,
+        policy: CapacityPolicy,
+        layout: str,
+    ):
+        self.version = version
+        self.space = space
+        self.policy = policy
+        self.layout = layout
+        self.store = VersionStore(version.pages)
+        self.tracer = Tracer()
+
+    # -- tree duck type (what the core read paths consume) --------------
+
+    @property
+    def height(self) -> int:
+        return self.version.height
+
+    @property
+    def root_page(self) -> int:
+        return self.version.root_page
+
+    @property
+    def count(self) -> int:
+        return self.version.count
+
+    @property
+    def lsn(self) -> int:
+        return self.version.lsn
+
+    def root_entry(self) -> Entry:
+        """The virtual entry for the root (the whole data space)."""
+        return Entry(ROOT_KEY, self.height, self.root_page)
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, point: Sequence[float]) -> Any:
+        """The value stored at ``point`` in this version."""
+        path = self.space.point_path(point)
+        if self.layout == "columnar" and self.height > 0:
+            entry = locate_columnar(self, path)[0]
+        else:
+            entry = locate(self, path).entry
+        page: DataPage = self.store.read(entry.page)
+        record = page.get(path)
+        if record is None:
+            raise KeyNotFoundError(f"no record at {tuple(point)}")
+        return record[1]
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True if a record exists at ``point`` in this version."""
+        try:
+            self.get(point)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def search(self, point: Sequence[float]) -> Locate:
+        """Exact-match descent diagnostics against this version."""
+        return locate(self, self.space.point_path(point))
+
+    def range_query(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> "_query.QueryResult":
+        """All records in the half-open box ``[lows, highs)``."""
+        return _query.range_query(self, Rect(lows, highs))
+
+    def partial_match(
+        self, constraints: dict[int, float]
+    ) -> "_query.QueryResult":
+        """Records matching exact values on a subset of dimensions."""
+        return _query.partial_match(self, constraints)
+
+    def nearest(self, point: Sequence[float], k: int = 1) -> KNNResult:
+        """The ``k`` records nearest to ``point`` in this version."""
+        return nearest_neighbours(self, point, k=k)
+
+    def items(self) -> Iterator[tuple[tuple[float, ...], Any]]:
+        """Iterate all (point, value) records (unspecified order)."""
+        stack = [self.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.level == 0:
+                page: DataPage = self.store.peek(entry.page)
+                yield from page.records.values()
+            else:
+                node: IndexNode = self.store.peek(entry.page)
+                stack.extend(node.entries)
+
+    def __len__(self) -> int:
+        return self.version.count
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return self.contains(point)
+
+    # -- validation -----------------------------------------------------
+
+    def materialize(self) -> Any:
+        """Rebuild a standalone :class:`~repro.core.BVTree` of this version.
+
+        Clones every page into a fresh in-memory store (page ids are
+        remapped; the logical structure — keys, levels, guards, record
+        placement — is preserved exactly), rebuilding the per-level key
+        registry along the way.  The result is a fully independent tree
+        the structural checker and the guarantee doctor can run against,
+        which is how the lockstep suite proves a snapshot can never
+        expose a torn split cascade or guard-set inconsistency.
+        """
+        from repro.core.tree import BVTree
+        from repro.storage.pager import ColumnarStore, PageStore
+
+        policy = self.policy
+        store_cls = ColumnarStore if self.layout == "columnar" else PageStore
+        tree = BVTree(
+            self.space,
+            data_capacity=policy.data_capacity,
+            fanout=policy.fanout,
+            policy=policy.kind,
+            page_bytes=policy.page_bytes,
+            store=store_cls(policy.page_bytes),
+            layout=self.layout,
+        )
+        tree.store.free(tree.root_page)
+        pages = self.version.pages
+
+        def copy(page_id: int) -> int:
+            content = clone_page(pages[page_id])
+            if isinstance(content, IndexNode):
+                for entry in content.entries:
+                    entry.page = copy(entry.page)
+                    tree.register_entry(entry)
+                return tree.alloc_index_node(content)
+            return tree.alloc_data_page(content)
+
+        tree.root_page = copy(self.root_page)
+        tree.height = self.height
+        tree.count = self.count
+        return tree
+
+    def __repr__(self) -> str:
+        return f"Snapshot(lsn={self.lsn}, {self.count} points)"

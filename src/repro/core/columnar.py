@@ -205,6 +205,26 @@ class ColumnarDataPage(DataPage):
     # Block structure (splits, merges, bulk build)
     # ------------------------------------------------------------------
 
+    def clone(self) -> "ColumnarDataPage":
+        """A copy sharing no mutable column state with this page.
+
+        Values are shared (they are opaque payloads the tree never
+        mutates); the three columns themselves are fresh containers, so
+        in-place edits to either page never show through the other.
+        The snapshot layer's commit-time cloning depends on exactly
+        this property.
+        """
+        page = ColumnarDataPage(self.ndim, self.path_bits)
+        paths = self._c_paths
+        page._c_paths = (
+            array(paths.typecode, paths)
+            if isinstance(paths, array)
+            else list(paths)
+        )
+        page._c_coords = array("d", self._c_coords)
+        page._c_values = list(self._c_values)
+        return page
+
     def extract_block(self, key: RegionKey, path_bits: int) -> "ColumnarDataPage":
         """Split out the records inside ``key``'s block into a new page.
 

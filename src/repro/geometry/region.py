@@ -177,6 +177,14 @@ class RegionKey:
         same key repeatedly, and the ``format`` call showed up in their
         profiles.  Keys that never print pay nothing (the slot stays
         unset until the first call).
+
+        Thread-safe without a lock, by construction: the memo is an
+        idempotent publish.  Two racing callers both derive the same
+        string from the immutable ``(nbits, value)`` pair, and the slot
+        write is a single atomic store — the loser overwrites an equal
+        value.  A reader either sees the slot set (and returns it) or
+        unset (and derives it); no torn state exists.  The concurrency
+        suite's reader hammer exercises exactly this race.
         """
         try:
             return self._bits

@@ -231,6 +231,19 @@ class DataSpace:
         that revisit the same region keys (checker sweeps, rendering,
         the decode-based baselines) hit the cache instead of re-deriving
         the box from the bit string.
+
+        Thread-safe without a lock: a space is shared by all concurrent
+        snapshot readers of a served tree, and a mutex here would tax
+        every decode of the single-threaded baselines, so the LRU
+        bookkeeping leans on the GIL instead — each individual dict
+        operation is atomic, and the only cross-thread hazards are a
+        recency ``del`` racing another reader's refresh of the same key
+        and an eviction racing a refresh of its victim, both absorbed by
+        the ``except`` arms below (the re-insert is idempotent; a lost
+        eviction round is healed by the ``while`` on the next miss,
+        which may transiently leave the cache a few entries over
+        capacity).  The stats counters may likewise drop increments
+        under contention; they are advisory, not accounting.
         """
         if key.nbits > self.path_bits:
             raise GeometryError(
@@ -242,13 +255,19 @@ class DataSpace:
             self._rect_stats[0] += 1
             # Refresh recency: dicts iterate in insertion order, so
             # re-inserting implements least-recently-used eviction.
-            del cache[key]
+            try:
+                del cache[key]
+            except KeyError:
+                pass  # a racing reader already refreshed this key
             cache[key] = cached
             return cached
         self._rect_stats[1] += 1
         rect = self.decode_rect(key)
-        if len(cache) >= self.KEY_RECT_CACHE_SIZE:
-            del cache[next(iter(cache))]
+        while len(cache) >= self.KEY_RECT_CACHE_SIZE:
+            try:
+                del cache[next(iter(cache))]
+            except (KeyError, RuntimeError, StopIteration):
+                break  # racing eviction/refresh; the next miss heals it
         cache[key] = rect
         return rect
 

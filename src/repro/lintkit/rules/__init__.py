@@ -7,10 +7,11 @@ examples.  Importing this package populates the registry in
 :mod:`repro.lintkit.suppress`, where the suppression machinery lives).
 """
 
-from repro.lintkit.rules import columnar, exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly, wallclock
+from repro.lintkit.rules import columnar, concurrency, exceptions, exports, fileio, floats, layering, metricsban, mutation, printban, statstouch, typingonly, wallclock
 
 __all__ = [
     "columnar",
+    "concurrency",
     "exceptions",
     "exports",
     "fileio",

@@ -115,6 +115,11 @@ class SuiteResult:
     #: (:func:`repro.perf.profileprobe.profile_snapshot`).  Additive
     #: like the blocks above: absent in older snapshots.
     profile: dict[str, Any] = field(default_factory=dict)
+    #: Concurrent-serving throughput and latency quantiles across the
+    #: three query:update mixes from the serving probe
+    #: (:func:`repro.perf.serving.serving_snapshot`).  Additive like the
+    #: blocks above: absent in older snapshots.
+    serving: dict[str, Any] = field(default_factory=dict)
 
     def result(self, name: str) -> BenchResult:
         """The named case's result (ReproError if the run skipped it)."""
@@ -136,6 +141,7 @@ class SuiteResult:
             "durability": self.durability,
             "columnar": self.columnar,
             "profile": self.profile,
+            "serving": self.serving,
         }
 
     def to_json(self) -> str:
@@ -166,6 +172,7 @@ class SuiteResult:
             durability=dict(data.get("durability", {})),
             columnar=dict(data.get("columnar", {})),
             profile=dict(data.get("profile", {})),
+            serving=dict(data.get("serving", {})),
         )
 
     @classmethod

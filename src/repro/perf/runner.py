@@ -26,6 +26,7 @@ from repro.perf.obsprobe import health_snapshot, observability_snapshot
 from repro.perf.profileprobe import profile_snapshot
 from repro.perf.registry import REGISTRY, Scale
 from repro.perf.results import BenchResult, SuiteResult, compare
+from repro.perf.serving import serving_snapshot
 from repro.perf.timer import measure
 
 __all__ = [
@@ -94,6 +95,7 @@ def run_suite(
     durability: dict[str, Any] = {}
     columnar: dict[str, Any] = {}
     profile: dict[str, Any] = {}
+    serving: dict[str, Any] = {}
     if observability:
         if progress is not None:
             progress("observability probe")
@@ -110,6 +112,9 @@ def run_suite(
         if progress is not None:
             progress("profiler probe (cost-profiler overhead)")
         profile = profile_snapshot(scale)
+        if progress is not None:
+            progress("serving probe (concurrent mixes)")
+        serving = serving_snapshot(scale)
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     return SuiteResult(
         suite=suite,
@@ -122,6 +127,7 @@ def run_suite(
         durability=durability,
         columnar=columnar,
         profile=profile,
+        serving=serving,
     )
 
 
@@ -192,6 +198,8 @@ def render_text(
         blocks.append(_render_columnar(result.columnar))
     if result.profile:
         blocks.append(_render_profile(result.profile))
+    if result.serving:
+        blocks.append(_render_serving(result.serving))
     if baseline is not None:
         cmp_rows = []
         for row in compare(baseline, result):
@@ -457,6 +465,35 @@ def _render_profile(profile: dict[str, Any]) -> str:
             f"cost-profiler probe (n={profile.get('tree_points')}, "
             f"height {profile.get('tree_height')}, "
             f"{profile.get('rounds')} paired rounds)"
+        ),
+    )
+
+
+def _render_serving(serving: dict[str, Any]) -> str:
+    """The serving-probe block of the text report."""
+    rows: list[list[Any]] = []
+    for name, mix in serving.get("mixes", {}).items():
+        rows.append([
+            f"{name} (reads {mix.get('read_fraction', 0.0):.0%})",
+            f"{mix.get('ops_per_s', 0.0):,.0f} ops/s, "
+            f"read p50 {mix.get('read_p50_us', 0.0):.0f}us "
+            f"p99 {mix.get('read_p99_us', 0.0):.0f}us, "
+            f"write p50 {mix.get('write_p50_us', 0.0):.0f}us "
+            f"p99 {mix.get('write_p99_us', 0.0):.0f}us",
+        ])
+        rows.append([
+            f"  {name}: consistency",
+            "OK"
+            if mix.get("consistent") and not mix.get("errors")
+            else f"FAIL (errors={mix.get('errors')})",
+        ])
+    return format_table(
+        ["serving probe", "value"],
+        rows,
+        title=(
+            f"serving probe (n={serving.get('probe_points')}, "
+            f"4 readers + 1 writer, "
+            f"{serving.get('duration_per_mix_s')}s per mix)"
         ),
     )
 

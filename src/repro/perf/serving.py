@@ -1,0 +1,246 @@
+"""The serving probe: concurrent mixed-traffic load over a TreeService.
+
+Drives the concurrency layer the way the HTTP server does — reader
+threads pinning snapshots for get/range/k-NN, one writer thread pushing
+inserts and deletes through group commits — across the three
+query:update mixes *Dynamic Indexability* frames (read-heavy, balanced,
+write-heavy), and records per-op p50/p99 latency and aggregate ops/sec
+into the additive ``serving`` block of ``BENCH_core.json``.
+
+In-process by design: the probe measures the concurrency substrate
+(snapshot pinning, version publication, lock handoff), not TCP and JSON
+parsing — those belong to ``repro loadgen`` against a live ``repro
+serve``.  Like every probe it runs after the timed single-threaded
+cases, never concurrently with them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from time import monotonic, perf_counter, sleep
+from typing import Any, Sequence
+
+from repro.concurrency.service import TreeService
+from repro.core.tree import BVTree
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.geometry.space import DataSpace
+from repro.perf.registry import Scale
+from repro.storage.pager import ColumnarStore, PageStore
+from repro.workloads import uniform
+
+__all__ = ["MIXES", "run_mix", "serving_snapshot"]
+
+#: Query:update mixes, as the fraction of ops that are reads.
+MIXES: dict[str, float] = {
+    "read_heavy": 0.9,
+    "balanced": 0.5,
+    "write_heavy": 0.1,
+}
+
+#: Probe-tree population cap — large enough for height > 1 at probe
+#: capacities, small enough that the three mixes stay in the probe's
+#: wall-clock budget at full scale.
+SERVING_POINTS = 8_000
+
+
+def _quantile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1, int(q * len(sorted_samples)))
+    return sorted_samples[index]
+
+
+def _build_service(scale: Scale) -> tuple[TreeService, list[tuple[float, ...]]]:
+    space = DataSpace.unit(scale.dims, resolution=scale.resolution)
+    n = min(scale.n_points, SERVING_POINTS)
+    points = [tuple(p) for p in uniform(n, scale.dims, seed=scale.seed)]
+    store = ColumnarStore() if scale.layout == "columnar" else PageStore()
+    tree = BVTree(
+        space,
+        data_capacity=scale.data_capacity,
+        fanout=scale.fanout,
+        store=store,
+        layout=scale.layout,
+    )
+    tree.bulk_load(((p, i) for i, p in enumerate(points)), replace=True)
+    return TreeService(tree), points
+
+
+def run_mix(
+    service: TreeService,
+    points: list[tuple[float, ...]],
+    *,
+    read_fraction: float,
+    duration_s: float,
+    readers: int = 4,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Drive one mix for ``duration_s`` and summarise what happened.
+
+    Reader threads issue snapshot reads (80% get, 15% range, 5% k-NN);
+    the writer thread issues replace-inserts and deletes through
+    :meth:`TreeService.apply_ops` in small groups (group-commit shaped,
+    like the server's batcher).  ``read_fraction`` sets the *per-thread
+    op budgets* so the offered load approximates the mix even though
+    readers and the writer run freely in parallel.
+    """
+    ndim = service.tree.space.ndim
+    stop_at = monotonic() + duration_s
+    read_latencies: list[list[float]] = [[] for _ in range(readers)]
+    write_latencies: list[float] = []
+    misses = [0]
+    errors = [0]
+    lock = threading.Lock()
+    # Throttle whichever side the mix de-emphasises: an op budget per
+    # 10ms window derived from the read fraction.
+    read_budget = max(1, int(200 * read_fraction))
+    write_budget = max(1, int(200 * (1.0 - read_fraction)))
+
+    def reader(slot: int) -> None:
+        rng = random.Random(seed * 997 + slot)
+        latencies = read_latencies[slot]
+        try:
+            while monotonic() < stop_at:
+                window = monotonic() + 0.01
+                for _ in range(read_budget):
+                    roll = rng.random()
+                    point = points[rng.randrange(len(points))]
+                    t0 = perf_counter()
+                    if roll < 0.80:
+                        snapshot = service.snapshot()
+                        try:
+                            snapshot.get(point)
+                        except KeyNotFoundError:
+                            # The writer may have deleted it since the
+                            # point list was drawn; a miss is a valid,
+                            # counted outcome.
+                            with lock:
+                                misses[0] += 1
+                    elif roll < 0.95:
+                        lo = rng.random() * 0.8
+                        lows = [lo] * ndim
+                        highs = [lo + 0.2] * ndim
+                        service.range_query(lows, highs)
+                    else:
+                        service.nearest(point, k=5)
+                    latencies.append(perf_counter() - t0)
+                slack = min(window, stop_at) - monotonic()
+                if slack > 0:
+                    sleep(slack)
+        except BaseException:
+            with lock:
+                errors[0] += 1
+            raise
+
+    def writer() -> None:
+        rng = random.Random(seed * 31 + 7)
+        live = list(points)
+        removed: list[tuple[float, ...]] = []
+        try:
+            while monotonic() < stop_at:
+                window = monotonic() + 0.01
+                group = []
+                for _ in range(write_budget):
+                    if removed and rng.random() < 0.5:
+                        point = removed.pop(rng.randrange(len(removed)))
+                        live.append(point)
+                        group.append(
+                            ("insert", point, rng.randrange(1 << 20), True)
+                        )
+                    elif len(live) > len(points) // 2:
+                        point = live.pop(rng.randrange(len(live)))
+                        removed.append(point)
+                        group.append(("delete", point))
+                    else:
+                        point = removed.pop(rng.randrange(len(removed)))
+                        live.append(point)
+                        group.append(
+                            ("insert", point, rng.randrange(1 << 20), True)
+                        )
+                    if len(group) == 8:
+                        t0 = perf_counter()
+                        service.apply_ops(group)
+                        write_latencies.append(
+                            (perf_counter() - t0) / len(group)
+                        )
+                        group = []
+                if group:
+                    t0 = perf_counter()
+                    service.apply_ops(group)
+                    write_latencies.append((perf_counter() - t0) / len(group))
+                slack = min(window, stop_at) - monotonic()
+                if slack > 0:
+                    sleep(slack)
+        except (DuplicateKeyError, KeyNotFoundError):  # pragma: no cover
+            with lock:
+                errors[0] += 1
+            raise
+
+    t_start = perf_counter()
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(readers)
+    ]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - t_start
+
+    reads = sorted(
+        latency for slot in read_latencies for latency in slot
+    )
+    writes = sorted(write_latencies)
+    n_reads = len(reads)
+    n_writes = sum(1 for _ in writes)  # group-commit mean per-op samples
+    total_ops = n_reads + n_writes
+    return {
+        "read_fraction": read_fraction,
+        "readers": readers,
+        "duration_s": round(elapsed, 3),
+        "reads": n_reads,
+        "read_misses": misses[0],
+        "write_groups": n_writes,
+        "errors": errors[0],
+        "ops_per_s": round(total_ops / elapsed, 1) if elapsed else 0.0,
+        "read_p50_us": round(_quantile(reads, 0.50) * 1e6, 1),
+        "read_p99_us": round(_quantile(reads, 0.99) * 1e6, 1),
+        "write_p50_us": round(_quantile(writes, 0.50) * 1e6, 1),
+        "write_p99_us": round(_quantile(writes, 0.99) * 1e6, 1),
+        "final_lsn": service.lsn,
+    }
+
+
+def serving_snapshot(scale: Scale) -> dict[str, Any]:
+    """The ``serving`` block of the benchmark artifact.
+
+    One service per mix (fresh trees, so mixes do not contaminate each
+    other's page structure), all three mixes of :data:`MIXES`, plus the
+    consistency cross-check: after each mix the service's live record
+    set must equal its final snapshot's (the writer and the versioning
+    layer agree).
+    """
+    duration_s = 0.25 if scale.name == "smoke" else 1.0
+    mixes: dict[str, Any] = {}
+    for mix_name, read_fraction in MIXES.items():
+        service, points = _build_service(scale)
+        summary = run_mix(
+            service,
+            points,
+            read_fraction=read_fraction,
+            duration_s=duration_s,
+            seed=scale.seed,
+        )
+        snapshot = service.snapshot()
+        live = {tuple(p) for p, _ in service.tree.items()}
+        pinned = {tuple(p) for p, _ in snapshot.items()}
+        summary["consistent"] = live == pinned
+        mixes[mix_name] = summary
+    return {
+        "probe_points": min(scale.n_points, SERVING_POINTS),
+        "layout": scale.layout,
+        "duration_per_mix_s": duration_s,
+        "mixes": mixes,
+    }

@@ -1,0 +1,23 @@
+"""The async HTTP/JSON serving layer over :mod:`repro.concurrency`.
+
+``repro serve`` boots this stack: a :class:`ServingApp` (transport-free
+routes + error mapping + per-endpoint metrics) over one
+:class:`~repro.concurrency.TreeService`, fronted by a stdlib-asyncio
+HTTP/1.1 server with a :class:`WriteBatcher` coalescing concurrent
+writes into group commits.  Endpoint reference and the concurrency
+model live in ``docs/SERVING.md``.
+"""
+
+from repro.server.app import Response, ServingApp, status_for
+from repro.server.batch import BatchStats, WriteBatcher
+from repro.server.http import ServerHandle, serve_app
+
+__all__ = [
+    "BatchStats",
+    "Response",
+    "ServerHandle",
+    "ServingApp",
+    "WriteBatcher",
+    "serve_app",
+    "status_for",
+]

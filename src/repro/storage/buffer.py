@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterator
 
@@ -36,15 +37,39 @@ class BufferPool:
     therefore reproduces the store's ``IOStats.reads`` exactly, and the
     total ``page_read`` count reproduces ``BufferStats.logical_reads``
     (the integration tests assert both equalities).
+
+    Thread safety: by default the pool is single-caller, like every
+    store — the hit path is two dict operations plus two counter
+    increments, and a mutex there would tax every buffered read of a
+    single-threaded index.  Pass ``thread_safe=True`` when the pool is
+    shared by concurrent readers (``cache.move_to_end`` racing an
+    eviction corrupts the ``OrderedDict``; the stats counters lose
+    increments): the cache and counter mutations then run under an
+    internal lock.  Served trees do not need this — snapshot readers
+    never touch the live store (see ``docs/SERVING.md``) — it exists for
+    direct shared-tree readers, e.g. the reader-hammer regression test.
     """
 
-    def __init__(self, store: PageStore, capacity: int = 64):
+    def __init__(
+        self,
+        store: PageStore,
+        capacity: int = 64,
+        *,
+        thread_safe: bool = False,
+    ):
         if capacity <= 0:
             raise StorageError(f"buffer capacity must be positive, got {capacity}")
         self.store = store
         self.capacity = capacity
         self.stats = BufferStats()
         self._cache: OrderedDict[int, Any] = OrderedDict()
+        # None in the default single-caller mode: the hot read path
+        # branches on it rather than entering a no-op context manager,
+        # whose __enter__/__exit__ calls would more than double the cost
+        # of a cache hit (measured; the hit path is ~190ns of dict work).
+        self._lock: threading.Lock | None = (
+            threading.Lock() if thread_safe else None
+        )
 
     # ------------------------------------------------------------------
     # PageStore surface (decorator passthrough)
@@ -76,13 +101,18 @@ class BufferPool:
     def allocate(self, content: Any = None, size_class: int = 0) -> int:
         """Allocate in the store; the fresh page starts out cached."""
         page_id = self.store.allocate(content, size_class=size_class)
-        self._install(page_id, content)
+        self._install_locked(page_id, content)
         return page_id
 
     def free(self, page_id: int) -> None:
         """Free in the store and drop any cached copy."""
         self.store.free(page_id)
-        self._cache.pop(page_id, None)
+        lock = self._lock
+        if lock is None:
+            self._cache.pop(page_id, None)
+        else:
+            with lock:
+                self._cache.pop(page_id, None)
 
     def register_size_class(self, size_class: int, page_bytes: int) -> None:
         """Pass through to the store."""
@@ -118,6 +148,13 @@ class BufferPool:
         touch — because every page access of a buffered index funnels
         through here.
         """
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                return self._read_inner(page_id)
+        return self._read_inner(page_id)
+
+    def _read_inner(self, page_id: int) -> Any:
         cache = self._cache
         content = cache.get(page_id, _ABSENT)
         if content is not _ABSENT:
@@ -141,6 +178,8 @@ class BufferPool:
 
         Serves from the cache when resident (no recency update), and
         otherwise peeks the underlying store without installing the page.
+        Lock-free even in thread-safe mode: the single dict probe is
+        atomic under the GIL, and peek mutates nothing.
         """
         content = self._cache.get(page_id, _ABSENT)
         if content is not _ABSENT:
@@ -150,7 +189,7 @@ class BufferPool:
     def write(self, page_id: int, content: Any) -> None:
         """Write a page through to the store and refresh the cache."""
         self.store.write(page_id, content)
-        self._install(page_id, content)
+        self._install_locked(page_id, content)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache (e.g. after it is freed).
@@ -159,12 +198,23 @@ class BufferPool:
         counted; a no-op call for a page that was never resident leaves
         the counters untouched.
         """
-        if self._cache.pop(page_id, _ABSENT) is not _ABSENT:
+        lock = self._lock
+        if lock is None:
+            dropped = self._cache.pop(page_id, _ABSENT) is not _ABSENT
+        else:
+            with lock:
+                dropped = self._cache.pop(page_id, _ABSENT) is not _ABSENT
+        if dropped:
             self.stats.invalidations += 1
 
     def clear(self) -> None:
         """Empty the cache without touching the store."""
-        self._cache.clear()
+        lock = self._lock
+        if lock is None:
+            self._cache.clear()
+        else:
+            with lock:
+                self._cache.clear()
 
     def resident(self, page_id: int) -> bool:
         """True if the page is currently cached."""
@@ -179,3 +229,11 @@ class BufferPool:
         while len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
+
+    def _install_locked(self, page_id: int, content: Any) -> None:
+        lock = self._lock
+        if lock is None:
+            self._install(page_id, content)
+        else:
+            with lock:
+                self._install(page_id, content)

@@ -804,3 +804,83 @@ class TestR14WallClock:
             """,
         )
         assert "R14" not in codes(findings)
+
+
+class TestR15CoreConcurrencyBan:
+    def test_flags_threading_import_in_core(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            import threading
+
+            LOCK = threading.Lock()
+            """,
+        )
+        assert codes(findings) == ["R15"]
+
+    def test_flags_aliased_asyncio_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            import asyncio as aio
+
+            def pump():
+                return aio.new_event_loop()
+            """,
+        )
+        assert codes(findings) == ["R15"]
+
+    def test_flags_from_import(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from threading import RLock
+
+            LOCK = RLock()
+            """,
+        )
+        assert codes(findings) == ["R15"]
+
+    def test_flags_low_level_thread_module(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            import _thread
+
+            def ident():
+                return _thread.get_ident()
+            """,
+        )
+        assert codes(findings) == ["R15"]
+
+    def test_concurrency_layer_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/concurrency/mod.py",
+            """
+            import threading
+
+            LOCK = threading.RLock()
+            """,
+        )
+        assert "R15" not in codes(findings)
+
+    def test_storage_opt_in_is_exempt(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/storage/mod.py",
+            """
+            import threading
+
+            LOCK = threading.Lock()
+            """,
+        )
+        assert "R15" not in codes(findings)
+
+    def test_unrelated_imports_are_clean(self, lint_snippet):
+        _, findings = lint_snippet(
+            "proj/repro/core/mod.py",
+            """
+            from bisect import bisect_left
+            from collections import deque
+            """,
+        )
+        assert "R15" not in codes(findings)

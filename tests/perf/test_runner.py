@@ -69,6 +69,7 @@ class TestRunSuite:
             "durability probe (WAL overhead + crash recovery)",
             "columnar probe (layout lanes + oracle)",
             "profiler probe (cost-profiler overhead)",
+            "serving probe (concurrent mixes)",
         ]
 
     def test_progress_without_observability(self):
@@ -195,13 +196,20 @@ class TestHealthBlock:
         )
 
     def test_overhead_budget_breach_is_a_regression(self, suite_result):
+        # Pin the baseline's measured ratio too: the regression line only
+        # fires when the baseline was within budget, and the fixture's
+        # real measurement can breach 1.03 on a loaded CI host.
+        base = _with_health(
+            suite_result,
+            overhead={"monitor_overhead_ratio": 1.0},
+        )
         heavy = _with_health(
             suite_result,
             overhead={"monitor_overhead_ratio": 1.5},
         )
         assert any(
             "overhead" in line
-            for line in health_regressions(suite_result, heavy)
+            for line in health_regressions(base, heavy)
         )
 
     def test_missing_health_blocks_compare_clean(self, suite_result):
